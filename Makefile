@@ -1,0 +1,38 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench verify examples soak figures clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every experiment table (CSV twins land in results/).
+bench:
+	dune exec bench/main.exe
+
+# One-call audit of the paper's assertions at a gap-valid parameter point.
+verify:
+	dune exec bin/maxis_lb.exe -- verify --ell 4 --players 3
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/two_party_warmup.exe
+	dune exec examples/hardness_amplification.exe
+	dune exec examples/quadratic_construction.exe
+	dune exec examples/congest_simulation.exe
+	dune exec examples/unweighted_transform.exe
+	dune exec examples/player_protocol.exe
+
+soak:
+	MAXIS_SOAK=100 dune exec test/test_soak.exe
+
+figures:
+	dune exec bench/main.exe -- F1-F6
+
+clean:
+	dune clean
+	rm -rf results figures test_output.txt bench_output.txt

@@ -1,0 +1,142 @@
+(* Experiments ABL-*: ablations of the construction's design choices
+   (DESIGN.md calls these out).
+
+   ABL-code — is the large-distance code load-bearing?  Rebuild the family
+   with a weak repetition code: Property 2's matching drops below ell, and
+   an adversarially chosen disjoint input pushes OPT above the Claim-2
+   bound — the hardness gap demonstrably narrows.  This is why Theorem 4
+   (Reed-Solomon) is in the paper.
+
+   ABL-bandwidth — the c in the c*log(n) bandwidth only rescales Theorem
+   5's cap linearly; the measured blackboard bits and the bound move
+   together and the inequality never breaks.
+
+   ABL-broadcast — Theorem 5 is model-agnostic within CONGEST variants:
+   uniform-message algorithms run unchanged under the Broadcast
+   restriction with identical traffic. *)
+
+module P = Maxis_core.Params
+module A = Maxis_core.Ablations
+module T = Stdx.Tablefmt
+open Exp_common
+
+let code () =
+  section "ABL-code" "Ablation: Reed-Solomon vs a weak repetition code (alpha=2)";
+  let table =
+    T.create
+      [
+        T.column ~align:T.Left "code";
+        T.column "ell";
+        T.column "min distance";
+        T.column "worst matching";
+        T.column ~align:T.Left "Property 2";
+        T.column "adversarial OPT";
+        T.column "Claim-2 bound";
+        T.column ~align:T.Left "Claim 2";
+        T.column "gap ratio";
+      ]
+  in
+  List.iter
+    (fun (kind, ell) ->
+      let r = A.analyze kind ~alpha:2 ~ell in
+      T.add_row table
+        [
+          A.code_name kind;
+          T.cell_int ell;
+          T.cell_int r.A.min_pairwise_distance;
+          T.cell_int r.A.worst_matching;
+          T.cell_bool r.A.property2_holds;
+          T.cell_int r.A.claim2_opt;
+          T.cell_int r.A.claim2_bound;
+          T.cell_bool r.A.claim2_holds;
+          T.cell_ratio r.A.gap_ratio;
+        ])
+    [
+      (A.Reed_solomon, 4);
+      (A.Repetition, 4);
+      (A.Reed_solomon, 6);
+      (A.Repetition, 6);
+    ];
+  T.print ~csv:"results/abl_code.csv" table;
+  note "with the weak code the worst codeword pair is too close: the";
+  note "matching (Property 2) collapses and Claim 2's bound is overrun --";
+  note "the construction provably needs Theorem 4's distance.";
+  note "(FAIL cells in the repetition rows are the point of the ablation.)"
+
+let bandwidth () =
+  section "ABL-bandwidth" "Ablation: the bandwidth constant c in c*log n";
+  let p = P.make ~alpha:1 ~ell:4 ~players:3 in
+  let table =
+    T.create
+      [
+        T.column "c";
+        T.column "B bits";
+        T.column "blackboard bits";
+        T.column "T*2cut*B";
+        T.column ~align:T.Left "within";
+      ]
+  in
+  List.iter
+    (fun (factor, (r : Maxis_core.Simulation.report)) ->
+      T.add_row table
+        [
+          T.cell_int factor;
+          T.cell_int r.Maxis_core.Simulation.bandwidth;
+          T.cell_int r.Maxis_core.Simulation.blackboard_bits;
+          T.cell_int r.Maxis_core.Simulation.bound_bits;
+          T.cell_bool r.Maxis_core.Simulation.within_bound;
+        ])
+    (A.bandwidth_report ~factors:[ 1; 2; 4; 8; 16 ] p ~intersecting:true ~seed:5);
+  T.print ~csv:"results/abl_bandwidth.csv" table;
+  note "the cap scales with c while the algorithm's actual traffic doesn't:";
+  note "Theorem 5's inequality is insensitive to the bandwidth constant."
+
+let broadcast () =
+  section "ABL-broadcast" "Ablation: CONGEST vs CONGEST-Broadcast";
+  let p = P.make ~alpha:1 ~ell:4 ~players:3 in
+  let rng = rng_for "abl-broadcast" in
+  let x = linear_input rng p ~intersecting:true in
+  let inst = Maxis_core.Linear_family.instance p x in
+  let table =
+    T.create
+      [
+        T.column ~align:T.Left "algorithm";
+        T.column ~align:T.Left "mode";
+        T.column "rounds";
+        T.column "blackboard bits";
+        T.column ~align:T.Left "within";
+        T.column ~align:T.Left "output equal";
+      ]
+  in
+  let compare_modes name program =
+    let run mode =
+      let config = { Congest.Runtime.default_config with Congest.Runtime.mode } in
+      Maxis_core.Simulation.simulate ~config program inst
+    in
+    let res_u, rep_u = run Congest.Runtime.Unicast in
+    let res_b, rep_b = run Congest.Runtime.Broadcast in
+    let equal = res_u.Congest.Runtime.outputs = res_b.Congest.Runtime.outputs in
+    List.iter
+      (fun (mode, (r : Maxis_core.Simulation.report)) ->
+        T.add_row table
+          [
+            name;
+            mode;
+            T.cell_int r.Maxis_core.Simulation.rounds;
+            T.cell_int r.Maxis_core.Simulation.blackboard_bits;
+            T.cell_bool r.Maxis_core.Simulation.within_bound;
+            T.cell_bool equal;
+          ])
+      [ ("unicast", rep_u); ("broadcast", rep_b) ]
+  in
+  compare_modes "max-id-flood" (Congest.Algo_flood.max_id ~rounds:5);
+  compare_modes "luby-mis" Congest.Algo_luby.mis;
+  T.print ~csv:"results/abl_broadcast.csv" table;
+  note "uniform-message algorithms are unaffected by the broadcast";
+  note "restriction; the DKO triangle bound the paper cites lives in this";
+  note "restricted model, while Theorems 1-2 hold in full CONGEST."
+
+let run () =
+  code ();
+  bandwidth ();
+  broadcast ()

@@ -1,0 +1,254 @@
+(* Experiments T1-bound, T2-bound and BASE: the round lower bounds of
+   Theorems 1 and 2 via Corollary 1, with measured cuts, and the
+   comparison against prior work.
+
+   Shape to reproduce: the linear bound scales like n/log^3 n, the
+   quadratic like n^2/log^3 n (the ratio bound/shape stabilizes), and both
+   strictly dominate the Bachrach et al. baselines (by log^3 n and
+   log^4 n respectively) while defeating harder approximation ratios. *)
+
+module P = Maxis_core.Params
+module Theorems = Maxis_core.Theorems
+module Baseline = Maxis_core.Bachrach_baseline
+module T = Stdx.Tablefmt
+open Exp_common
+
+(* Parameter ladder in the paper's direction: alpha grows with k.  The
+   calculators are closed-form, so the ladder can reach sizes whose graphs
+   would not fit in memory. *)
+let ladder =
+  [ (1, 4); (2, 4); (2, 8); (3, 6); (3, 10); (4, 8); (4, 16); (5, 20); (6, 26) ]
+
+let bound_table which pick shape_name ~csv =
+  let table =
+    T.create
+      [
+        T.column "alpha";
+        T.column "ell";
+        T.column "k";
+        T.column "strings";
+        T.column "t";
+        T.column "n";
+        T.column "cut";
+        T.column "CC bits";
+        T.column "rounds LB";
+        T.column shape_name;
+        T.column "LB/shape";
+      ]
+  in
+  List.iter
+    (fun (alpha, ell) ->
+      let p = P.make ~alpha ~ell ~players:3 in
+      let r : Theorems.report = pick p in
+      T.add_row table
+        [
+          T.cell_int alpha;
+          T.cell_int ell;
+          T.cell_int r.Theorems.k;
+          T.cell_int r.Theorems.string_length;
+          T.cell_int r.Theorems.t;
+          T.cell_int r.Theorems.n;
+          T.cell_int r.Theorems.cut;
+          T.cell_float r.Theorems.cc_bits;
+          T.cell_float ~decimals:6 r.Theorems.rounds_lower_bound;
+          T.cell_float r.Theorems.shape;
+          T.cell_float ~decimals:6 (r.Theorems.rounds_lower_bound /. r.Theorems.shape);
+        ])
+    ladder;
+  T.print ~csv table;
+  ignore which
+
+let t1_bound () =
+  section "T1-bound" "Theorem 1: Omega(n/log^3 n) rounds for (1/2+eps)-approx";
+  bound_table "linear" Theorems.linear "n/log^3 n" ~csv:"results/t1_bound.csv";
+  note "rounds LB = CC(k,t) / (2 |cut| log n); the LB/shape column shows the";
+  note "polylog-vs-polylog bookkeeping (cut ~ t^2 q^2 (l+a) vs log^3 n);";
+  note "in the paper regime k = (l+a)^a is exponential and the shapes match."
+
+let t2_bound () =
+  section "T2-bound" "Theorem 2: Omega(n^2/log^3 n) rounds for (3/4+eps)-approx";
+  bound_table "quadratic" Theorems.quadratic "n^2/log^3 n" ~csv:"results/t2_bound.csv";
+  note "the k^2-bit strings buy a factor k over the linear bound at the";
+  note "same cut: the quadratic rounds LB / linear rounds LB ~ k:";
+  let table =
+    T.create [ T.column "alpha"; T.column "ell"; T.column "k"; T.column "quad LB / lin LB" ]
+  in
+  List.iter
+    (fun (alpha, ell) ->
+      let p = P.make ~alpha ~ell ~players:3 in
+      let lin = Theorems.linear p and quad = Theorems.quadratic p in
+      T.add_row table
+        [
+          T.cell_int alpha;
+          T.cell_int ell;
+          T.cell_int (P.k p);
+          T.cell_float
+            (quad.Theorems.rounds_lower_bound /. lin.Theorems.rounds_lower_bound);
+        ])
+    ladder;
+  T.print ~csv:"results/quad_vs_lin.csv" table
+
+let regime_table () =
+  section "REGIME" "The paper's asymptotic parameter choices, realized";
+  let table =
+    T.create
+      [
+        T.column "target k";
+        T.column "alpha";
+        T.column "ell";
+        T.column "realized k";
+        T.column "k ratio";
+        T.column "q padding";
+        T.column "n (linear)";
+        T.column ~align:T.Left "lin gap";
+        T.column ~align:T.Left "quad gap";
+      ]
+  in
+  List.iter
+    (fun target_k ->
+      let r = Maxis_core.Regime.at ~target_k ~players:3 in
+      let p = r.Maxis_core.Regime.params in
+      T.add_row table
+        [
+          T.cell_int target_k;
+          T.cell_int (P.alpha p);
+          T.cell_int (P.ell p);
+          T.cell_int r.Maxis_core.Regime.realized_k;
+          T.cell_float r.Maxis_core.Regime.k_ratio;
+          T.cell_int r.Maxis_core.Regime.prime_padding;
+          T.cell_int (Maxis_core.Regime.nodes_linear r);
+          (if r.Maxis_core.Regime.linear_gap_valid then "ok" else "needs bigger k");
+          (if r.Maxis_core.Regime.quadratic_gap_valid then "ok" else "needs bigger k");
+        ])
+    [ 16; 256; 4096; 65536; 1048576; 16777216; 1073741824 ];
+  T.print ~csv:"results/regime.csv" table;
+  note "alpha = log k/log log k, ell = log k - alpha (the paper's choice);";
+  note "prime padding q - (ell+alpha) is tiny at every scale, and the";
+  note "formal gaps separate once k (hence ell ~ log k) is large enough."
+
+let epsilon_table () =
+  section "EPS" "The theorems' epsilon dependence (constant made explicit)";
+  let table =
+    T.create
+      [
+        T.column "epsilon";
+        T.column "Thm1: t";
+        T.column "defeats";
+        T.column "rounds @ n=2^20";
+        T.column "Thm2: t";
+        T.column "defeats";
+        T.column "rounds @ n=2^20";
+      ]
+  in
+  List.iter
+    (fun epsilon ->
+      let s1 = Theorems.theorem1_statement ~epsilon in
+      let s2 = Theorems.theorem2_statement ~epsilon in
+      T.add_row table
+        [
+          T.cell_float epsilon;
+          T.cell_int s1.Theorems.players_used;
+          T.cell_ratio s1.Theorems.defeated_ratio;
+          T.cell_float (s1.Theorems.rounds_at ~n:1048576.0);
+          T.cell_int s2.Theorems.players_used;
+          T.cell_ratio s2.Theorems.defeated_ratio;
+          T.cell_float (s2.Theorems.rounds_at ~n:1048576.0);
+        ])
+    [ 0.2; 0.1; 0.05; 0.02; 0.01 ];
+  T.print ~csv:"results/epsilon.csv" table;
+  note "smaller eps: harder approximation ratios defeated, at a 1/(t log t)";
+  note "constant -- the trade Lemma 2's t = ceil(2/eps) choice encodes."
+
+let base () =
+  section "BASE" "Comparison with prior work (matched n, formula constants 1)";
+  let table =
+    T.create
+      [
+        T.column ~align:T.Left "bound";
+        T.column "defeated ratio";
+        T.column "rounds @ n=2^10";
+        T.column "rounds @ n=2^16";
+        T.column "rounds @ n=2^20";
+      ]
+  in
+  List.iter
+    (fun (e : Baseline.entry) ->
+      T.add_row table
+        [
+          e.Baseline.source ^ ": " ^ e.Baseline.description;
+          T.cell_ratio e.Baseline.ratio;
+          T.cell_float (e.Baseline.rounds ~n:1024.0);
+          T.cell_float (e.Baseline.rounds ~n:65536.0);
+          T.cell_float (e.Baseline.rounds ~n:1048576.0);
+        ])
+    Baseline.all;
+  T.print ~csv:"results/baseline.csv" table;
+  let table2 =
+    T.create
+      [
+        T.column ~align:T.Left "improvement";
+        T.column "factor @ n=2^16";
+        T.column ~align:T.Left "expected";
+      ]
+  in
+  T.add_row table2
+    [
+      "Thm 1 vs Bachrach linear";
+      T.cell_float
+        (Baseline.improvement_factor ~old_bound:Baseline.bachrach_linear
+           ~new_bound:Baseline.this_paper_linear ~n:65536.0);
+      "log^3 n = 4096";
+    ];
+  T.add_row table2
+    [
+      "Thm 2 vs Bachrach quadratic";
+      T.cell_float
+        (Baseline.improvement_factor ~old_bound:Baseline.bachrach_quadratic
+           ~new_bound:Baseline.this_paper_quadratic ~n:65536.0);
+      "log^4 n = 65536";
+    ];
+  T.print ~csv:"results/baseline_improvement.csv" table2;
+  note "and the defeated ratios drop: 5/6 -> 1/2 (linear), 7/8 -> 3/4 (quadratic)";
+  (* The constructive two-party baseline we can actually run: Lemma 1's
+     family under the classic Alice-and-Bob framework. *)
+  let table3 =
+    T.create
+      [
+        T.column "ell";
+        T.column "k";
+        T.column "n";
+        T.column "cut";
+        T.column "2-party rounds LB";
+        T.column "defeats";
+        T.column ~align:T.Left "barrier";
+      ]
+  in
+  List.iter
+    (fun ell ->
+      let p = Maxis_core.Two_party.params ~ell in
+      let b = Maxis_core.Two_party.round_bound p in
+      T.add_row table3
+        [
+          T.cell_int ell;
+          T.cell_int b.Maxis_core.Two_party.k;
+          T.cell_int b.Maxis_core.Two_party.n;
+          T.cell_int b.Maxis_core.Two_party.cut;
+          T.cell_float ~decimals:6 b.Maxis_core.Two_party.rounds_lower_bound;
+          T.cell_ratio b.Maxis_core.Two_party.gamma_defeated;
+          Printf.sprintf "cannot defeat %.2f" Maxis_core.Two_party.barrier_ratio;
+        ])
+    [ 4; 8; 16; 32 ];
+  T.print ~csv:"results/two_party_baseline.csv"
+    ~title:
+      "the executable two-party baseline (Lemma 1 under the Alice-and-Bob \
+       framework)"
+    table3;
+  note "two parties: better CC constant (k vs k/(t log t)) but stuck at 3/4;";
+  note "the multi-party framework trades constants for ratios below 1/2+eps."
+
+let run () =
+  t1_bound ();
+  t2_bound ();
+  regime_table ();
+  epsilon_table ();
+  base ()

@@ -1,0 +1,35 @@
+(* Shared helpers for the experiment harness. *)
+
+module P = Maxis_core.Params
+module T = Stdx.Tablefmt
+
+let section id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "[%s] %s\n" id title;
+  Printf.printf "================================================================\n"
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
+
+(* Every experiment draws from its own deterministically seeded stream so
+   re-runs and reorderings reproduce bit-identical tables. *)
+let rng_for id = Stdx.Prng.create (Hashtbl.hash id)
+
+let linear_input rng p ~intersecting =
+  Commcx.Inputs.gen_promise rng ~k:(P.k p) ~t:p.P.players ~intersecting
+
+let quadratic_input rng p ~intersecting =
+  Commcx.Inputs.gen_promise rng
+    ~k:(Maxis_core.Quadratic_family.string_length p)
+    ~t:p.P.players ~intersecting
+
+let opt_linear p x =
+  Mis.Exact.opt (Maxis_core.Linear_family.instance p x).Maxis_core.Family.graph
+
+let opt_quadratic p x =
+  Mis.Exact.opt
+    (Maxis_core.Quadratic_family.instance p x).Maxis_core.Family.graph
+
+(* Mean measured OPT over [trials] random promise inputs. *)
+let mean_opt ~trials rng gen solve =
+  let vals = Array.init trials (fun _ -> float_of_int (solve (gen ()))) in
+  Stdx.Stats.mean vals

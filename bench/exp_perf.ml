@@ -1,0 +1,106 @@
+(* Experiment PERF: Bechamel timing benches, one Test.make per moving part
+   of the pipeline — family construction, exact solving on both promise
+   sides, code encoding, bipartite matching, and a full CONGEST
+   simulation round-trip. *)
+
+module P = Maxis_core.Params
+module LF = Maxis_core.Linear_family
+module QF = Maxis_core.Quadratic_family
+open Bechamel
+open Toolkit
+
+let p3 = P.make ~alpha:1 ~ell:4 ~players:3
+let p2 = P.make ~alpha:1 ~ell:4 ~players:2
+
+let prepared_inputs =
+  let rng = Stdx.Prng.create 0xbe5c in
+  let xi = Commcx.Inputs.gen_promise rng ~k:(P.k p3) ~t:3 ~intersecting:true in
+  let xd = Commcx.Inputs.gen_promise rng ~k:(P.k p3) ~t:3 ~intersecting:false in
+  let xq =
+    Commcx.Inputs.gen_promise rng ~k:(QF.string_length p2) ~t:2
+      ~intersecting:true
+  in
+  (xi, xd, xq)
+
+let tests =
+  let xi, xd, xq = prepared_inputs in
+  let inst_i = LF.instance p3 xi in
+  let inst_d = LF.instance p3 xd in
+  let gi = inst_i.Maxis_core.Family.graph in
+  let gd = inst_d.Maxis_core.Family.graph in
+  let cp = p3.P.cp in
+  Test.make_grouped ~name:"maxis-lb"
+    [
+      Test.make ~name:"build-linear-t3" (Staged.stage (fun () -> LF.instance p3 xi));
+      Test.make ~name:"build-quadratic-t2" (Staged.stage (fun () -> QF.instance p2 xq));
+      Test.make ~name:"exact-mis-intersecting" (Staged.stage (fun () -> Mis.Exact.opt gi));
+      Test.make ~name:"exact-mis-disjoint" (Staged.stage (fun () -> Mis.Exact.opt gd));
+      Test.make ~name:"greedy-mis" (Staged.stage (fun () -> Mis.Bounds.greedy_lower gi));
+      Test.make ~name:"clique-cover-bound"
+        (Staged.stage (fun () -> Mis.Bounds.clique_cover_upper gi));
+      Test.make ~name:"rs-encode-all-k"
+        (Staged.stage (fun () ->
+             for m = 0 to Codes.Code_params.(cp.k) - 1 do
+               ignore (Codes.Code_params.codeword cp m)
+             done));
+      Test.make ~name:"property2-matching"
+        (Staged.stage (fun () ->
+             ignore (Maxis_core.Properties.property2 p3 ~i:0 ~j:1 ~m1:0 ~m2:1)));
+      Test.make ~name:"congest-luby"
+        (Staged.stage (fun () -> ignore (Congest.Runtime.run Congest.Algo_luby.mis gi)));
+      Test.make ~name:"congest-coloring"
+        (Staged.stage (fun () ->
+             ignore (Congest.Runtime.run Congest.Algo_coloring.color gi)));
+      Test.make ~name:"congest-matching"
+        (Staged.stage (fun () ->
+             ignore (Congest.Runtime.run Congest.Algo_matching.maximal_matching gi)));
+      Test.make ~name:"vertex-cover-2approx"
+        (Staged.stage (fun () -> ignore (Mis.Vertex_cover.local_ratio_2approx gi)));
+      Test.make ~name:"simulation-flood"
+        (Staged.stage (fun () ->
+             ignore
+               (Maxis_core.Simulation.simulate
+                  (Congest.Algo_flood.max_id ~rounds:4)
+                  inst_i)));
+      Test.make ~name:"player-protocol-flood"
+        (Staged.stage (fun () ->
+             ignore
+               (Maxis_core.Player_sim.run
+                  (Congest.Algo_flood.max_id ~rounds:4)
+                  inst_i)));
+      Test.make ~name:"unweighted-transform"
+        (Staged.stage (fun () ->
+             ignore (Maxis_core.Unweighted.transform_instance inst_d)));
+    ]
+
+let run () =
+  Exp_common.section "PERF" "Bechamel timings (ns per run, OLS on monotonic clock)";
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Stdx.Tablefmt.create
+      [
+        Stdx.Tablefmt.column ~align:Stdx.Tablefmt.Left "bench";
+        Stdx.Tablefmt.column "ns/run";
+      ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | _ -> "n/a"
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Stdx.Tablefmt.add_row table [ name; ns ])
+    (List.sort compare !rows);
+  Stdx.Tablefmt.print ~csv:"results/perf.csv" table

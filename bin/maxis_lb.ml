@@ -1,0 +1,342 @@
+(* maxis_lb: command-line driver for the lower-bound constructions.
+
+   Subcommands:
+     build     construct an instance and print its census
+     verify    check Properties 1-3 and the Definition-4 conditions
+     bounds    print the Theorem 1/2 round bounds at given parameters
+     figure    emit a paper figure's gadget as DOT
+     simulate  run the Theorem-5 CONGEST simulation on an instance
+     sweep     sweep t and print the closing gap ratio *)
+
+open Cmdliner
+module P = Maxis_core.Params
+module LF = Maxis_core.Linear_family
+module QF = Maxis_core.Quadratic_family
+module Family = Maxis_core.Family
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments *)
+
+let alpha_arg =
+  Arg.(value & opt int 1 & info [ "alpha" ] ~docv:"A" ~doc:"Code parameter alpha.")
+
+let ell_arg =
+  Arg.(value & opt int 4 & info [ "ell" ] ~docv:"L" ~doc:"Code parameter ell.")
+
+let players_arg =
+  Arg.(value & opt int 3 & info [ "t"; "players" ] ~docv:"T" ~doc:"Number of players.")
+
+let seed_arg =
+  Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let intersecting_arg =
+  Arg.(
+    value & flag
+    & info [ "intersecting" ]
+        ~doc:"Generate a uniquely-intersecting input (default: pairwise disjoint).")
+
+let quadratic_arg =
+  Arg.(
+    value & flag
+    & info [ "quadratic" ] ~doc:"Use the Section-5 quadratic family instead of the linear one.")
+
+let params alpha ell players = P.make ~alpha ~ell ~players
+
+let gen_instance p ~quadratic ~seed ~intersecting =
+  let rng = Stdx.Prng.create seed in
+  if quadratic then
+    let x =
+      Commcx.Inputs.gen_promise rng ~k:(QF.string_length p) ~t:p.P.players
+        ~intersecting
+    in
+    (QF.instance p x, x)
+  else
+    let x =
+      Commcx.Inputs.gen_promise rng ~k:(P.k p) ~t:p.P.players ~intersecting
+    in
+    (LF.instance p x, x)
+
+(* ------------------------------------------------------------------ *)
+(* build *)
+
+let build_cmd =
+  let run alpha ell players seed intersecting quadratic solve =
+    let p = params alpha ell players in
+    let inst, x = gen_instance p ~quadratic ~seed ~intersecting in
+    let g = inst.Family.graph in
+    Format.printf "parameters: %a@." P.pp p;
+    Format.printf "input: %a@." Commcx.Inputs.pp x;
+    Format.printf "instance: %a@." Wgraph.Graph.pp g;
+    Format.printf "cut: %d@." (Family.cut_size inst);
+    Format.printf "diameter: %d@." (Wgraph.Metrics.diameter g);
+    if solve then begin
+      let sol = Mis.Exact.solve g in
+      Format.printf "OPT: %d (B&B nodes: %d)@." sol.Mis.Exact.weight
+        sol.Mis.Exact.nodes_explored
+    end;
+    0
+  in
+  let solve_arg =
+    Arg.(value & flag & info [ "solve" ] ~doc:"Also solve MaxIS exactly.")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Construct an instance and print its census.")
+    Term.(
+      const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg
+      $ intersecting_arg $ quadratic_arg $ solve_arg)
+
+(* ------------------------------------------------------------------ *)
+(* verify *)
+
+let verify_cmd =
+  let run alpha ell players seed samples =
+    let p = params alpha ell players in
+    Format.printf "parameters: %a@." P.pp p;
+    let items = Maxis_core.Verification.run ~seed ~samples p in
+    List.iter
+      (fun i -> Format.printf "%a@." Maxis_core.Verification.pp_item i)
+      items;
+    if Maxis_core.Verification.all_ok items then begin
+      Format.printf "all %d checks passed@." (List.length items);
+      0
+    end
+    else begin
+      let failures =
+        List.length
+          (List.filter (fun i -> not i.Maxis_core.Verification.ok) items)
+      in
+      Format.printf "%d FAILURES@." failures;
+      1
+    end
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "samples" ] ~docv:"N" ~doc:"Randomized-check repetitions.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Audit the code distance, Properties 1-3, Claims, Definition-4 \
+          conditions and the Theorem-5 reduction at given parameters.")
+    Term.(const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg $ samples_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bounds *)
+
+let bounds_cmd =
+  let run alpha ell players epsilon =
+    let p = params alpha ell players in
+    let show (r : Maxis_core.Theorems.report) =
+      Format.printf "%a@." Maxis_core.Theorems.pp r
+    in
+    show (Maxis_core.Theorems.linear p);
+    show (Maxis_core.Theorems.quadratic p);
+    (match epsilon with
+    | None -> ()
+    | Some epsilon ->
+        let s1 = Maxis_core.Theorems.theorem1_statement ~epsilon in
+        Format.printf
+          "@.Theorem 1 @ eps=%.3f: t=%d players, any %.4f-approximation \
+           needs >= n/(t log t log^3 n) rounds (%.3f at n=2^20)@."
+          epsilon s1.Maxis_core.Theorems.players_used
+          s1.Maxis_core.Theorems.defeated_ratio
+          (s1.Maxis_core.Theorems.rounds_at ~n:1048576.0);
+        if epsilon < 0.25 then begin
+          let s2 = Maxis_core.Theorems.theorem2_statement ~epsilon in
+          Format.printf
+            "Theorem 2 @ eps=%.3f: t=%d players, any %.4f-approximation \
+             needs >= n^2/(t log t log^3 n) rounds (%.1f at n=2^20)@."
+            epsilon s2.Maxis_core.Theorems.players_used
+            s2.Maxis_core.Theorems.defeated_ratio
+            (s2.Maxis_core.Theorems.rounds_at ~n:1048576.0)
+        end);
+    Format.printf "@.prior work at the linear instance's n:@.";
+    let n = float_of_int (LF.n_nodes p) in
+    List.iter
+      (fun (e : Maxis_core.Bachrach_baseline.entry) ->
+        Format.printf "  %-40s ratio %.3f, rounds >= %.3f@."
+          e.Maxis_core.Bachrach_baseline.source
+          e.Maxis_core.Bachrach_baseline.ratio
+          (e.Maxis_core.Bachrach_baseline.rounds ~n))
+      Maxis_core.Bachrach_baseline.all;
+    0
+  in
+  let epsilon_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "epsilon" ] ~docv:"EPS"
+          ~doc:"Also print the epsilon-level theorem statements.")
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the Theorem 1/2 round bounds.")
+    Term.(const run $ alpha_arg $ ell_arg $ players_arg $ epsilon_arg)
+
+(* ------------------------------------------------------------------ *)
+(* figure *)
+
+let figure_cmd =
+  let run which out =
+    let p2 = P.figure_params ~players:2 in
+    let p3 = P.figure_params ~players:3 in
+    let dot =
+      match which with
+      | 1 ->
+          (* Figure 1: one copy of H. *)
+          let g = Wgraph.Graph.create (Maxis_core.Base_graph.copy_size p2) in
+          Maxis_core.Base_graph.build_into p2 g ~offset:0 ~copy_name:"";
+          Wgraph.Dot.to_dot ~name:"Figure1_H" g
+      | 3 ->
+          (* Figure 3: the t=3 construction with the Property-1 set
+             highlighted. *)
+          let g, part = LF.fixed p3 in
+          Wgraph.Dot.to_dot ~name:"Figure3_G_t3" ~partition:part
+            ~highlight:(LF.property1_set p3 ~m:0) g
+      | 5 ->
+          (* Figure 5: the quadratic F for t=2. *)
+          let g, part = QF.fixed p2 in
+          Wgraph.Dot.to_dot ~name:"Figure5_F_t2" ~partition:part g
+      | n ->
+          Printf.ksprintf failwith
+            "unknown figure %d (supported: 1, 3, 5; figures 2/4/6 are \
+             sub-diagrams of these)"
+            n
+    in
+    (match out with
+    | None -> print_string dot
+    | Some path ->
+        Wgraph.Dot.write_file path dot;
+        Format.printf "wrote %s@." path);
+    0
+  in
+  let which_arg =
+    Arg.(value & pos 0 int 1 & info [] ~docv:"N" ~doc:"Figure number (1, 3 or 5).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Emit a paper figure's gadget as Graphviz DOT.")
+    Term.(const run $ which_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let run alpha ell players seed intersecting =
+    let p = params alpha ell players in
+    let inst, x = gen_instance p ~quadratic:false ~seed ~intersecting in
+    let d =
+      Maxis_core.Simulation.decide_disjointness inst
+        ~predicate:(LF.predicate p)
+    in
+    let r = d.Maxis_core.Simulation.report in
+    Format.printf "algorithm: %s@." r.Maxis_core.Simulation.algorithm;
+    Format.printf "rounds: %d, cut: %d, bandwidth: %d bits/edge/round@."
+      r.Maxis_core.Simulation.rounds r.Maxis_core.Simulation.cut_size
+      r.Maxis_core.Simulation.bandwidth;
+    Format.printf "blackboard: %d bits in %d writes (bound %d, within: %b)@."
+      r.Maxis_core.Simulation.blackboard_bits
+      r.Maxis_core.Simulation.blackboard_writes
+      r.Maxis_core.Simulation.bound_bits r.Maxis_core.Simulation.within_bound;
+    Format.printf "OPT = %d, answer f(x) = %s, truth = %b@."
+      d.Maxis_core.Simulation.opt
+      (match d.Maxis_core.Simulation.answer with
+      | Some b -> string_of_bool b
+      | None -> "?")
+      (Commcx.Functions.promise_pairwise_disjointness x);
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the Theorem-5 simulation on an instance.")
+    Term.(const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg $ intersecting_arg)
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let export_cmd =
+  let run alpha ell players seed intersecting quadratic format out =
+    let p = params alpha ell players in
+    let inst, x = gen_instance p ~quadratic ~seed ~intersecting in
+    let g = inst.Family.graph in
+    let comment =
+      Format.asprintf
+        "hard MaxIS instance from 'Beyond Alice and Bob' (PODC 2020)@\n\
+         family: %s, %a@\nseed=%d intersecting=%b f(x)=%b"
+        (if quadratic then "quadratic (Section 5)" else "linear (Section 4)")
+        P.pp p seed intersecting
+        (Commcx.Functions.promise_pairwise_disjointness x)
+    in
+    let contents =
+      match format with
+      | "dimacs" ->
+          Wgraph.Dimacs.to_string ~comment ~partition:inst.Family.partition g
+      | "dot" -> Wgraph.Dot.to_dot ~name:"instance" ~partition:inst.Family.partition g
+      | other ->
+          Printf.ksprintf failwith "unknown format %s (dimacs | dot)" other
+    in
+    (match out with
+    | None -> print_string contents
+    | Some path ->
+        Wgraph.Dot.write_file path contents;
+        Format.printf "wrote %s (%d nodes, %d edges)@." path (Wgraph.Graph.n g)
+          (Wgraph.Graph.edge_count g));
+    0
+  in
+  let format_arg =
+    Arg.(
+      value & opt string "dimacs"
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: dimacs or dot.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Export a hard instance (DIMACS for off-the-shelf MaxIS solvers, \
+          or DOT), partition included.")
+    Term.(
+      const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg
+      $ intersecting_arg $ quadratic_arg $ format_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let sweep_cmd =
+  let run max_t =
+    Format.printf "t, ell, formal lo/hi ratio, defeated approximation@.";
+    for t = 2 to max_t do
+      let p = P.make ~alpha:1 ~ell:(4 * t * t) ~players:t in
+      Format.printf "%d, %d, %.4f, (1/2 + %.4f)@." t (4 * t * t)
+        (float_of_int (LF.low_weight p) /. float_of_int (LF.high_weight p))
+        (1.0 /. float_of_int t)
+    done;
+    0
+  in
+  let max_t_arg =
+    Arg.(value & opt int 16 & info [ "max-t" ] ~docv:"T" ~doc:"Largest t.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep t and print the closing gap ratio.")
+    Term.(const run $ max_t_arg)
+
+let () =
+  let doc = "lower-bound constructions for approximate MaxIS in CONGEST" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "maxis_lb" ~doc)
+          [
+            build_cmd;
+            verify_cmd;
+            bounds_cmd;
+            figure_cmd;
+            simulate_cmd;
+            export_cmd;
+            sweep_cmd;
+          ]))

@@ -1,0 +1,92 @@
+module Bitset = Stdx.Bitset
+module Mathx = Stdx.Mathx
+
+(* Each protocol writes on the blackboard with declared bit widths, then
+   decides.  Decisions read only the blackboard (plus the deciding player's
+   own string), mirroring the model's information flow. *)
+
+let exchange_everything =
+  {
+    Protocol.name = "exchange-everything";
+    run =
+      (fun x board ->
+        let t = Inputs.t_players x in
+        let k = x.Inputs.k in
+        for i = 0 to t - 1 do
+          (* Write the k-bit string as ⌈k/62⌉ machine words, declaring k
+             bits in total. *)
+          let s = Inputs.string_of_player x i in
+          let remaining = ref k in
+          let word = ref 0 and word_bits = ref 0 in
+          let flush () =
+            if !word_bits > 0 then begin
+              Blackboard.write board ~author:i ~bits:!word_bits ~tag:"string"
+                !word;
+              word := 0;
+              word_bits := 0
+            end
+          in
+          for j = 0 to k - 1 do
+            word := !word lor ((if Bitset.mem s j then 1 else 0) lsl !word_bits);
+            incr word_bits;
+            decr remaining;
+            if !word_bits = 62 then flush ()
+          done;
+          flush ();
+          if k = 0 then Blackboard.write board ~author:i ~bits:0 ~tag:"string" 0
+        done;
+        (* Player 0 reconstructs all strings from the board and answers. *)
+        Inputs.uniquely_intersecting x = None);
+  }
+
+let position_bits k = max 1 (Mathx.ceil_log2 (max 2 k))
+
+let sparse_encoding ~k =
+  let pb = position_bits k in
+  let cb = max 1 (Mathx.ceil_log2 (k + 2)) in
+  {
+    Protocol.name = "sparse-encoding";
+    run =
+      (fun x board ->
+        let t = Inputs.t_players x in
+        for i = 0 to t - 1 do
+          let s = Inputs.string_of_player x i in
+          Blackboard.write board ~author:i ~bits:cb ~tag:"count"
+            (Bitset.cardinal s);
+          Bitset.iter
+            (fun j -> Blackboard.write board ~author:i ~bits:pb ~tag:"pos" j)
+            s
+        done;
+        Inputs.uniquely_intersecting x = None);
+  }
+
+let sequential_intersect ~k =
+  let pb = position_bits k in
+  let cb = max 1 (Mathx.ceil_log2 (k + 2)) in
+  {
+    Protocol.name = "sequential-intersect";
+    run =
+      (fun x board ->
+        let t = Inputs.t_players x in
+        (* candidates: positions that could still be the common index. *)
+        let candidates = ref (Bitset.copy (Inputs.string_of_player x 0)) in
+        Blackboard.write board ~author:0 ~bits:cb ~tag:"count"
+          (Bitset.cardinal !candidates);
+        Bitset.iter
+          (fun j -> Blackboard.write board ~author:0 ~bits:pb ~tag:"pos" j)
+          !candidates;
+        for i = 1 to t - 1 do
+          let survivors =
+            Bitset.inter !candidates (Inputs.string_of_player x i)
+          in
+          Blackboard.write board ~author:i ~bits:cb ~tag:"count"
+            (Bitset.cardinal survivors);
+          Bitset.iter
+            (fun j -> Blackboard.write board ~author:i ~bits:pb ~tag:"pos" j)
+            survivors;
+          candidates := survivors
+        done;
+        Bitset.is_empty !candidates);
+  }
+
+let all ~k = [ exchange_everything; sparse_encoding ~k; sequential_intersect ~k ]

@@ -1,0 +1,26 @@
+(** Concrete upper-bound protocols for disjointness problems.
+
+    These bracket the Ω(k/t log t) lower bound of Theorem 3 from above and
+    serve as the measured baselines in the `cc` experiment: no protocol we
+    can implement beats the bound on promise instances, and the trivial
+    ones sit a factor Θ(t² log t) above it. *)
+
+val exchange_everything : Protocol.t
+(** Every player writes its full k-bit string; player 1 computes the
+    promise-pairwise-disjointness answer.  Cost: exactly [t·k] bits. *)
+
+val sparse_encoding : k:int -> Protocol.t
+(** Every player writes the positions of its 1-bits, each as a
+    [⌈log₂ k⌉]-bit index prefixed by a [⌈log₂(k+1)⌉]-bit count.  Cost:
+    [Σᵢ (|xⁱ|·⌈log k⌉ + ⌈log(k+1)⌉)] — cheaper than
+    {!exchange_everything} on the sparse promise instances the reduction
+    generates. *)
+
+val sequential_intersect : k:int -> Protocol.t
+(** Exploits the promise: player 1 writes its 1-positions; each later
+    player intersects the candidate set written so far with its own string
+    and writes the surviving positions.  On promise instances the
+    candidate set collapses to at most one index after the second player,
+    so the cost is [O(|x¹|·log k + t·log k)] bits. *)
+
+val all : k:int -> Protocol.t list

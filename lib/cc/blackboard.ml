@@ -1,0 +1,36 @@
+type entry = { author : int; bits : int; value : int; tag : string }
+
+type t = { entries : entry Stdx.Dynvec.t }
+
+let create () = { entries = Stdx.Dynvec.create () }
+
+let write t ~author ~bits ?(tag = "") value =
+  if bits < 0 then invalid_arg "Blackboard.write: negative bit count";
+  Stdx.Dynvec.push t.entries { author; bits; value; tag }
+
+let check_payload_fits e =
+  e.value >= 0 && (e.bits >= 63 || e.value < 1 lsl e.bits)
+
+let bits_written t = Stdx.Dynvec.fold (fun acc e -> acc + e.bits) 0 t.entries
+
+let entries t = Stdx.Dynvec.to_list t.entries
+
+let writes t = Stdx.Dynvec.length t.entries
+
+let bits_by_author t =
+  let tbl = Hashtbl.create 8 in
+  Stdx.Dynvec.iter
+    (fun e ->
+      Hashtbl.replace tbl e.author
+        (e.bits + Option.value ~default:0 (Hashtbl.find_opt tbl e.author)))
+    t.entries;
+  Hashtbl.fold (fun a b acc -> (a, b) :: acc) tbl [] |> List.sort compare
+
+let read_last t ~tag =
+  Stdx.Dynvec.fold
+    (fun acc e -> if e.tag = tag then Some e else acc)
+    None t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "blackboard(%d writes, %d bits)" (writes t)
+    (bits_written t)

@@ -1,0 +1,48 @@
+(** The shared blackboard of the number-in-hand model (Definition 1).
+
+    Players exchange information only by writing on a blackboard visible to
+    all; the cost of a protocol is the total number of bits written in the
+    worst case.  This module makes the blackboard a concrete, bit-metered
+    object: every write records the author, a declared bit size and a
+    payload, and the transcript length [|π_Q(x¹,...,xᵗ)|] is simply
+    {!bits_written}.
+
+    Bit accounting is declared, not inferred: a writer states how many bits
+    its message occupies (e.g. [⌈log₂ n⌉] for a node id).  Writers that lie
+    can be caught by {!val-check_payload_fits}, which tests that the payload's
+    integer value fits the declared width. *)
+
+type entry = {
+  author : int;  (** player index *)
+  bits : int;  (** declared size of this write *)
+  value : int;  (** payload (interpreted by the protocol) *)
+  tag : string;  (** debugging label, not counted in bits *)
+}
+
+type t
+
+val create : unit -> t
+
+val write : t -> author:int -> bits:int -> ?tag:string -> int -> unit
+(** Appends an entry.  Raises [Invalid_argument] on negative [bits]. *)
+
+val check_payload_fits : entry -> bool
+(** [value] representable in [bits] bits (as an unsigned integer). *)
+
+val bits_written : t -> int
+(** Total declared bits — the transcript length. *)
+
+val entries : t -> entry list
+(** In write order. *)
+
+val writes : t -> int
+(** Number of entries. *)
+
+val bits_by_author : t -> (int * int) list
+(** [(player, bits)] pairs, ascending by player. *)
+
+val read_last : t -> tag:string -> entry option
+(** Most recent entry with the given tag — convenience for protocols whose
+    phases name their writes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type bound = {
+  name : string;
+  source : string;
+  bits : k:int -> t:int -> float;
+}
+
+let two_party_disjointness =
+  {
+    name = "two-party set-disjointness";
+    source = "Kalyanasundaram-Schnitger 1992 / Razborov 1992";
+    bits = (fun ~k ~t:_ -> float_of_int k);
+  }
+
+let promise_pairwise_disjointness =
+  {
+    name = "promise pairwise disjointness";
+    source = "Chakrabarti-Khot-Sun 2003, Theorem 2.5";
+    bits =
+      (fun ~k ~t ->
+        if t < 2 then invalid_arg "cc bound: t must be >= 2";
+        let logt = Float.max 1.0 (Stdx.Mathx.log2 (float_of_int t)) in
+        float_of_int k /. (float_of_int t *. logt));
+  }
+
+let eval_bits b ~k ~t = b.bits ~k ~t

@@ -1,0 +1,26 @@
+(** The communication-complexity lower bounds the reductions consume, as
+    first-class formula objects.
+
+    These are information-theoretic theorems from the literature; code
+    cannot re-prove them, but the reduction pipeline needs them as values
+    (Corollary 1 divides one by the cut size).  Each bound records its
+    source and exposes the function of [(k, t)]; the constant factor hidden
+    by Ω(·) is taken as 1, so a bound here is "the paper's expression with
+    constant 1" — exactly what the bench tables report. *)
+
+type bound = {
+  name : string;
+  source : string;  (** citation, e.g. "Chakrabarti–Khot–Sun 2003, Thm 2.5" *)
+  bits : k:int -> t:int -> float;  (** the Ω(·) expression, constant 1 *)
+}
+
+val two_party_disjointness : bound
+(** Ω(k) — Kalyanasundaram–Schnitger / Razborov. *)
+
+val promise_pairwise_disjointness : bound
+(** Ω(k / (t·log t)) — Theorem 3 of the paper, citing Chakrabarti, Khot &
+    Sun (CCC 2003), Theorem 2.5.  For [t = 2] the [t·log t] factor is
+    [2·1 = 2]; we use [log₂] and clamp [log t] below by 1 so the formula is
+    monotone and meaningful at [t = 2]. *)
+
+val eval_bits : bound -> k:int -> t:int -> float

@@ -1,0 +1,17 @@
+let two_party_disjointness x =
+  if Inputs.t_players x <> 2 then
+    invalid_arg "Functions.two_party_disjointness: need exactly 2 players";
+  Stdx.Bitset.disjoint
+    (Inputs.string_of_player x 0)
+    (Inputs.string_of_player x 1)
+
+let multiparty_disjointness x = Inputs.uniquely_intersecting x = None
+
+let promise_pairwise_disjointness x =
+  match Inputs.uniquely_intersecting x with
+  | Some _ -> false
+  | None ->
+      if Inputs.pairwise_disjoint x then true
+      else
+        invalid_arg
+          "Functions.promise_pairwise_disjointness: input violates the promise"

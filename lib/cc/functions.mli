@@ -1,0 +1,19 @@
+(** The Boolean functions of the paper's communication-complexity reductions.
+
+    All are functions [∏ᵢ {0,1}^k → {TRUE, FALSE}], represented as
+    [Inputs.t -> bool]. *)
+
+val two_party_disjointness : Inputs.t -> bool
+(** Classic set-disjointness for [t = 2]: TRUE iff the strings do not
+    intersect.  Raises [Invalid_argument] unless there are exactly two
+    players. *)
+
+val multiparty_disjointness : Inputs.t -> bool
+(** TRUE iff there is {e no} index where all strings are 1 (the "all
+    intersect at the same index" variant in the paper's Challenge
+    paragraph). *)
+
+val promise_pairwise_disjointness : Inputs.t -> bool
+(** Definition 2: TRUE if pairwise disjoint, FALSE if uniquely
+    intersecting.  Raises [Invalid_argument] when the input violates the
+    promise (callers should only evaluate it on promise instances). *)

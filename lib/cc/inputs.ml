@@ -1,0 +1,102 @@
+module Bitset = Stdx.Bitset
+module Prng = Stdx.Prng
+
+type t = { k : int; strings : Bitset.t array }
+
+let t_players x = Array.length x.strings
+
+let string_of_player x i =
+  if i < 0 || i >= Array.length x.strings then
+    invalid_arg "Inputs.string_of_player: bad player index";
+  x.strings.(i)
+
+let bit x ~player j = Bitset.mem (string_of_player x player) j
+
+let make ~k strings =
+  List.iter
+    (fun s ->
+      if Bitset.capacity s <> k then
+        invalid_arg "Inputs.make: string capacity differs from k")
+    strings;
+  { k; strings = Array.of_list strings }
+
+let of_bit_lists ~k lists =
+  make ~k (List.map (fun ones -> Bitset.of_list k ones) lists)
+
+let pairwise_disjoint x =
+  let t = t_players x in
+  let ok = ref true in
+  for i = 0 to t - 1 do
+    for j = i + 1 to t - 1 do
+      if Bitset.intersects x.strings.(i) x.strings.(j) then ok := false
+    done
+  done;
+  !ok
+
+let uniquely_intersecting x =
+  let t = t_players x in
+  if t = 0 then None
+  else begin
+    let common = Bitset.copy x.strings.(0) in
+    for i = 1 to t - 1 do
+      Bitset.inter_in_place common x.strings.(i)
+    done;
+    Bitset.min_elt common
+  end
+
+let satisfies_promise x =
+  match uniquely_intersecting x with
+  | None -> pairwise_disjoint x
+  | Some m ->
+      (* Outside the shared index, strings must be pairwise disjoint. *)
+      let t = t_players x in
+      let clean = ref true in
+      for i = 0 to t - 1 do
+        for j = i + 1 to t - 1 do
+          let inter = Bitset.inter x.strings.(i) x.strings.(j) in
+          Bitset.remove inter m;
+          if not (Bitset.is_empty inter) then clean := false
+        done
+      done;
+      !clean
+
+let gen_pairwise_disjoint rng ~k ~t ~ones_per_player =
+  if t * ones_per_player > k then
+    invalid_arg "Inputs.gen_pairwise_disjoint: not enough indices";
+  if t < 1 || ones_per_player < 0 then
+    invalid_arg "Inputs.gen_pairwise_disjoint: bad parameters";
+  (* Choose t·o distinct indices and deal them out round-robin after a
+     shuffle, so each player's support is uniform among disjoint choices. *)
+  let chosen =
+    Array.of_list (Prng.sample_without_replacement rng k (t * ones_per_player))
+  in
+  Prng.shuffle rng chosen;
+  let strings = Array.init t (fun _ -> Bitset.create k) in
+  Array.iteri (fun idx pos -> Bitset.add strings.(idx mod t) pos) chosen;
+  { k; strings }
+
+let gen_uniquely_intersecting rng ~k ~t ~ones_per_player =
+  if ones_per_player < 1 then
+    invalid_arg "Inputs.gen_uniquely_intersecting: need >= 1 one per player";
+  if (t * (ones_per_player - 1)) + 1 > k then
+    invalid_arg "Inputs.gen_uniquely_intersecting: not enough indices";
+  let base = gen_pairwise_disjoint rng ~k ~t ~ones_per_player:(ones_per_player - 1) in
+  (* Add the common index at a position no player currently holds. *)
+  let taken = Bitset.create k in
+  Array.iter (fun s -> Bitset.union_in_place taken s) base.strings;
+  let free = Bitset.complement taken in
+  let free_arr = Bitset.to_array free in
+  let m = free_arr.(Prng.int rng (Array.length free_arr)) in
+  Array.iter (fun s -> Bitset.add s m) base.strings;
+  base
+
+let gen_promise rng ~k ~t ~intersecting =
+  let ones_per_player = max 1 (k / (2 * t)) in
+  if intersecting then gen_uniquely_intersecting rng ~k ~t ~ones_per_player
+  else gen_pairwise_disjoint rng ~k ~t ~ones_per_player
+
+let pp ppf x =
+  Format.fprintf ppf "inputs(k=%d, t=%d)" x.k (t_players x);
+  Array.iteri
+    (fun i s -> Format.fprintf ppf "@ x^%d=%a" (i + 1) Bitset.pp s)
+    x.strings

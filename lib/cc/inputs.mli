@@ -1,0 +1,63 @@
+(** Input vectors for the number-in-hand multi-party model.
+
+    An input is a vector [x̄ = (x¹, ..., xᵗ)] of [t] binary strings of
+    length [k], player [i] holding [xⁱ].  Strings are {!Stdx.Bitset}
+    values: [mem xⁱ j] means the [j]-th bit of [xⁱ] is 1.
+
+    The generators here produce exactly the instance classes the paper's
+    reductions consume: pairwise-disjoint vectors and uniquely-intersecting
+    vectors (the two sides of the promise of Definition 2). *)
+
+type t = {
+  k : int;  (** string length *)
+  strings : Stdx.Bitset.t array;  (** one per player; length [t] *)
+}
+
+val t_players : t -> int
+val string_of_player : t -> int -> Stdx.Bitset.t
+(** Raises [Invalid_argument] on a bad player index. *)
+
+val bit : t -> player:int -> int -> bool
+(** [bit x̄ ~player j] is [xⁱ_j]. *)
+
+val make : k:int -> Stdx.Bitset.t list -> t
+(** Validates that each string has capacity [k]. *)
+
+val of_bit_lists : k:int -> int list list -> t
+(** Each inner list gives the 1-positions of one player's string. *)
+
+(** {1 Predicates} *)
+
+val pairwise_disjoint : t -> bool
+(** For all [i ≠ j], [xⁱ ∩ xʲ = ∅]. *)
+
+val uniquely_intersecting : t -> int option
+(** [Some m] when index [m] has [xⁱ_m = 1] for every player [i]; [None]
+    otherwise.  When several such indices exist, the smallest is
+    returned. *)
+
+val satisfies_promise : t -> bool
+(** The promise of Definition 2: pairwise disjoint, {e or} intersecting in
+    a common index and disjoint everywhere else (for [t >= 2] "uniquely
+    intersecting" per the paper means all strings share an index; we follow
+    Chakrabarti et al. and additionally require the shared index to be the
+    only pairwise collision). *)
+
+(** {1 Generators} *)
+
+val gen_pairwise_disjoint : Stdx.Prng.t -> k:int -> t:int -> ones_per_player:int -> t
+(** Random pairwise-disjoint vector where each player holds
+    [ones_per_player] ones.  Raises [Invalid_argument] when
+    [t * ones_per_player > k]. *)
+
+val gen_uniquely_intersecting :
+  Stdx.Prng.t -> k:int -> t:int -> ones_per_player:int -> t
+(** Random promise-respecting intersecting vector: one common index, all
+    other ones pairwise disjoint.  Requires [ones_per_player >= 1] and
+    [t * (ones_per_player - 1) + 1 <= k]. *)
+
+val gen_promise : Stdx.Prng.t -> k:int -> t:int -> intersecting:bool -> t
+(** Convenience wrapper with a sensible density ([ones_per_player =
+    max 1 (k / (2t))]). *)
+
+val pp : Format.formatter -> t -> unit

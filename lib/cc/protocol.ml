@@ -1,0 +1,27 @@
+type outcome = { answer : bool; bits : int; writes : int }
+
+type t = { name : string; run : Inputs.t -> Blackboard.t -> bool }
+
+let execute p x =
+  let board = Blackboard.create () in
+  let answer = p.run x board in
+  {
+    answer;
+    bits = Blackboard.bits_written board;
+    writes = Blackboard.writes board;
+  }
+
+let worst_case_bits p inputs =
+  List.fold_left (fun acc x -> max acc (execute p x).bits) 0 inputs
+
+let accuracy p reference inputs =
+  match inputs with
+  | [] -> invalid_arg "Protocol.accuracy: no inputs"
+  | _ ->
+      let correct =
+        List.fold_left
+          (fun acc x ->
+            if (execute p x).answer = reference x then acc + 1 else acc)
+          0 inputs
+      in
+      float_of_int correct /. float_of_int (List.length inputs)

@@ -1,0 +1,31 @@
+(** Blackboard protocols and their measured cost.
+
+    A protocol is a strategy for the [t] players to compute a Boolean
+    function of their joint input by writing on the shared blackboard.  In
+    this executable model a protocol is a function receiving the input
+    vector and a fresh blackboard; the discipline that player [i] may only
+    look at [xⁱ] plus the blackboard is enforced by construction in the
+    protocols we ship (each player-step closure receives only its own
+    string), and tested by metamorphic tests (changing bits a player never
+    reads cannot change that player's writes). *)
+
+type outcome = {
+  answer : bool;
+  bits : int;  (** transcript length on this input *)
+  writes : int;
+}
+
+type t = {
+  name : string;
+  run : Inputs.t -> Blackboard.t -> bool;
+      (** computes the answer, writing all communication on the board *)
+}
+
+val execute : t -> Inputs.t -> outcome
+
+val worst_case_bits : t -> Inputs.t list -> int
+(** Max transcript length over the given inputs — an empirical lower
+    estimate of [Cost(Q)] (Definition 1 maximizes over all inputs). *)
+
+val accuracy : t -> (Inputs.t -> bool) -> Inputs.t list -> float
+(** Fraction of inputs answered according to the reference function. *)

@@ -1,0 +1,97 @@
+type t = {
+  l : int;
+  m : int;
+  d : int;
+  q : int;
+  encode : int array -> int array;
+}
+
+let distance a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Code_mapping.distance: length mismatch";
+  let d = ref 0 in
+  Array.iteri (fun i x -> if x <> b.(i) then incr d) a;
+  !d
+
+let message_count c = Stdx.Mathx.pow c.q c.l
+
+let message_of_index c i =
+  let total = message_count c in
+  if i < 0 || i >= total then
+    invalid_arg
+      (Printf.sprintf "Code_mapping.message_of_index: %d out of [0,%d)" i total);
+  let msg = Array.make c.l 0 in
+  let rest = ref i in
+  for pos = 0 to c.l - 1 do
+    msg.(pos) <- !rest mod c.q;
+    rest := !rest / c.q
+  done;
+  msg
+
+let encode_index c i = c.encode (message_of_index c i)
+
+let verify ?samples ?rng c =
+  let total = message_count c in
+  let check i j =
+    let ci = encode_index c i and cj = encode_index c j in
+    let dist = distance ci cj in
+    if dist < c.d then
+      Error
+        (Printf.sprintf
+           "messages %d and %d have codeword distance %d < required %d" i j
+           dist c.d)
+    else Ok ()
+  in
+  let exhaustive () =
+    let result = ref (Ok ()) in
+    (try
+       for i = 0 to total - 1 do
+         for j = i + 1 to total - 1 do
+           match check i j with
+           | Ok () -> ()
+           | Error _ as e ->
+               result := e;
+               raise Exit
+         done
+       done
+     with Exit -> ());
+    !result
+  in
+  let sampled n rng =
+    let result = ref (Ok ()) in
+    (try
+       for _ = 1 to n do
+         let i = Stdx.Prng.int rng total in
+         let j = Stdx.Prng.int rng total in
+         if i <> j then
+           match check i j with
+           | Ok () -> ()
+           | Error _ as e ->
+               result := e;
+               raise Exit
+       done
+     with Exit -> ());
+    !result
+  in
+  match (samples, rng) with
+  | None, _ when total <= 256 -> exhaustive ()
+  | Some _, None | None, None ->
+      (* No entropy source supplied for a large space: fall back to a
+         deterministic one so verification stays total. *)
+      sampled (Option.value ~default:1000 samples) (Stdx.Prng.create 0x5eed)
+  | Some n, Some rng -> sampled n rng
+  | None, Some rng -> sampled 1000 rng
+
+let repetition ~q ~l ~m =
+  if l <= 0 || m < l then invalid_arg "Code_mapping.repetition";
+  {
+    l;
+    m;
+    d = Stdx.Mathx.divide_round_up m l;
+    q;
+    encode =
+      (fun msg ->
+        if Array.length msg <> l then
+          invalid_arg "Code_mapping.repetition: bad message length";
+        Array.init m (fun i -> msg.(i mod l)));
+  }

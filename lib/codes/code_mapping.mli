@@ -1,0 +1,43 @@
+(** Code-mappings in the sense of Definition 3 of the paper.
+
+    A code-mapping with parameters [(L, M, d, Σ)] is a function
+    [C : Σ^L → Σ^M] such that distinct inputs map to codewords at Hamming
+    distance at least [d].  Symbols are integers [0 .. q-1] where
+    [q = |Σ|] (the paper writes symbols 1-based; we are 0-based internally
+    and shift only when printing node names [σ_(h,r)]). *)
+
+type t = {
+  l : int;  (** message length [L] *)
+  m : int;  (** codeword length [M] *)
+  d : int;  (** guaranteed minimum distance *)
+  q : int;  (** alphabet size [|Σ|] *)
+  encode : int array -> int array;
+      (** total on messages in [Σ^L]; raises [Invalid_argument] otherwise *)
+}
+
+val distance : int array -> int array -> int
+(** Hamming distance; raises [Invalid_argument] on length mismatch. *)
+
+val message_count : t -> int
+(** [q^L] — the number of encodable messages. *)
+
+val encode_index : t -> int -> int array
+(** [encode_index c i] encodes the [i]-th message in the lexicographic
+    ordering of [Σ^L] (base-[q] digits, least-significant first).  This is
+    the paper's [C(m)] for [m ∈ [k]] (0-based).  Raises [Invalid_argument]
+    when [i] is out of [0, q^L). *)
+
+val message_of_index : t -> int -> int array
+(** The base-[q] digit expansion used by {!encode_index}. *)
+
+val verify : ?samples:int -> ?rng:Stdx.Prng.t -> t -> (unit, string) result
+(** Checks the distance property.  Exhaustive over all message pairs when
+    [q^L <= 256] (or when [samples] is omitted and the space is small);
+    otherwise checks [samples] random pairs (default 1000).  Returns a
+    human-readable error naming the violating pair on failure. *)
+
+val repetition : q:int -> l:int -> m:int -> t
+(** The trivial repetition-style mapping used as a {e negative control} in
+    tests: it simply repeats the message to length [m] and therefore has
+    distance as low as ⌈m/l⌉ — far below [m − l] when [l > 1].  Its [d]
+    field records that weak guarantee honestly. *)

@@ -1,0 +1,41 @@
+module Mathx = Stdx.Mathx
+
+type t = {
+  alpha : int;
+  ell : int;
+  positions : int;
+  q : int;
+  k : int;
+  code : Code_mapping.t;
+}
+
+let make ~alpha ~ell =
+  if alpha < 1 then invalid_arg "Code_params.make: alpha must be >= 1";
+  if ell < 1 then invalid_arg "Code_params.make: ell must be >= 1";
+  let positions = ell + alpha in
+  (* Guard against k = positions^alpha overflowing. *)
+  let kf = float_of_int positions ** float_of_int alpha in
+  if kf > 1e15 then invalid_arg "Code_params.make: k too large";
+  let k = Mathx.pow positions alpha in
+  let q = Stdx.Primes.next_prime positions in
+  let code = Reed_solomon.make ~p:q ~l:alpha ~m:positions in
+  { alpha; ell; positions; q; k; code }
+
+let paper_regime ~k =
+  if k < 2 then invalid_arg "Code_params.paper_regime: k must be >= 2";
+  let logk = Mathx.log2 (float_of_int k) in
+  let loglogk = Mathx.log2 (Float.max 2.0 logk) in
+  let alpha = max 1 (int_of_float (Float.round (logk /. loglogk))) in
+  let ell = max 1 (int_of_float (Float.round (logk -. (logk /. loglogk)))) in
+  make ~alpha ~ell
+
+let codeword p m =
+  if m < 0 || m >= p.k then
+    invalid_arg (Printf.sprintf "Code_params.codeword: %d out of [0,%d)" m p.k);
+  Code_mapping.encode_index p.code m
+
+let exact_alphabet p = p.q = p.positions
+
+let pp ppf p =
+  Format.fprintf ppf "params(alpha=%d, ell=%d, positions=%d, q=%d, k=%d)"
+    p.alpha p.ell p.positions p.q p.k

@@ -1,0 +1,44 @@
+(** Parameter selection for the paper's code gadget.
+
+    Section 4.1 fixes three positive integers [k, α, ℓ] with
+    [(ℓ+α)^α = k] and [ℓ ≫ α], and a code-mapping with parameters
+    [(α, ℓ+α, ℓ, Σ)] where [|Σ| = ℓ+α].  Concretely the paper sets
+    [ℓ = log k − log k/log log k] and [α = log k/log log k].
+
+    Reed–Solomon needs [ℓ+α] distinct evaluation points inside a field, so
+    we use the smallest prime [q ≥ ℓ+α] as the alphabet size.  The code
+    gadget then has [ℓ+α] cliques of [q] nodes each; all of the paper's
+    inequalities count {e positions} (of which there are exactly [ℓ+α]) and
+    are untouched by the slightly larger cliques (see DESIGN.md §4).  When
+    [ℓ+α] is itself prime — e.g. the figures' [ℓ=2, α=1] — the construction
+    matches the paper exactly. *)
+
+type t = {
+  alpha : int;  (** message length [α] *)
+  ell : int;  (** distance parameter [ℓ] *)
+  positions : int;  (** [ℓ + α], the number of code-gadget cliques *)
+  q : int;  (** alphabet size: smallest prime [>= ℓ+α] *)
+  k : int;  (** [(ℓ+α)^α] — the size of the [A] cliques *)
+  code : Code_mapping.t;  (** RS mapping [Σ^α → Σ^{ℓ+α}] with distance [ℓ+1] *)
+}
+
+val make : alpha:int -> ell:int -> t
+(** Raises [Invalid_argument] when [alpha < 1] or [ell < 1], or when [k]
+    would overflow the native int range. *)
+
+val paper_regime : k:int -> t
+(** Parameters as close as possible to the paper's asymptotic choice for a
+    target [k]: [α ≈ log k / log log k], [ℓ ≈ log k − α], both at least 1.
+    The achieved [k] is [(ℓ+α)^α], recorded in the result (generally not
+    exactly the target). *)
+
+val codeword : t -> int -> int array
+(** [codeword p m] is [C(m)] — the length-[ℓ+α] symbol vector of the
+    [m]-th message, symbols in [0, q).  Raises [Invalid_argument] when
+    [m ∉ [0, k)]. *)
+
+val exact_alphabet : t -> bool
+(** True when [q = ℓ+α], i.e. the construction matches the paper with no
+    alphabet padding. *)
+
+val pp : Format.formatter -> t -> unit

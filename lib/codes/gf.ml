@@ -1,0 +1,34 @@
+type t = { p : int }
+
+let make p =
+  if not (Stdx.Primes.is_prime p) then
+    invalid_arg (Printf.sprintf "Gf.make: %d is not prime" p);
+  { p }
+
+let order f = f.p
+
+let of_int f x =
+  let r = x mod f.p in
+  if r < 0 then r + f.p else r
+
+let add f a b = (a + b) mod f.p
+let sub f a b = of_int f (a - b)
+let mul f a b = a * b mod f.p
+let neg f a = of_int f (-a)
+
+let rec pow f x e =
+  if e < 0 then invalid_arg "Gf.pow: negative exponent"
+  else if e = 0 then 1
+  else
+    let h = pow f (mul f x x) (e / 2) in
+    if e land 1 = 1 then mul f x h else h
+
+let inv f a =
+  let a = of_int f a in
+  if a = 0 then raise Division_by_zero;
+  (* Fermat: a^(p-2) — fields are tiny, so this is plenty fast. *)
+  pow f a (f.p - 2)
+
+let div f a b = mul f a (inv f b)
+
+let elements f = List.init f.p Fun.id

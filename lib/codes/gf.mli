@@ -1,0 +1,35 @@
+(** Prime-field arithmetic GF(p).
+
+    Theorem 4 of the paper only asserts the {e existence} of a large-distance
+    code; the canonical construction (which we implement fully) is
+    Reed–Solomon, which needs a finite field with at least [M = ℓ+α]
+    elements.  Prime fields suffice for every parameter regime we
+    instantiate, so we implement GF(p) for prime [p] rather than general
+    extension fields. *)
+
+type t
+(** The field, carrying its modulus. *)
+
+val make : int -> t
+(** [make p] — raises [Invalid_argument] unless [p] is prime. *)
+
+val order : t -> int
+
+val of_int : t -> int -> int
+(** Canonical representative in [0, p). Accepts negatives. *)
+
+val add : t -> int -> int -> int
+val sub : t -> int -> int -> int
+val mul : t -> int -> int -> int
+val neg : t -> int -> int
+
+val pow : t -> int -> int -> int
+(** [pow f x e] for [e >= 0]. *)
+
+val inv : t -> int -> int
+(** Multiplicative inverse; raises [Division_by_zero] on 0. *)
+
+val div : t -> int -> int -> int
+
+val elements : t -> int list
+(** [0; 1; ...; p-1]. *)

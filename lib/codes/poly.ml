@@ -1,0 +1,70 @@
+type t = int array
+
+let degree f p =
+  let rec go i =
+    if i < 0 then -1 else if Gf.of_int f p.(i) <> 0 then i else go (i - 1)
+  in
+  go (Array.length p - 1)
+
+let eval f p x =
+  let acc = ref 0 in
+  for i = Array.length p - 1 downto 0 do
+    acc := Gf.add f (Gf.mul f !acc x) (Gf.of_int f p.(i))
+  done;
+  !acc
+
+let add f a b =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i ->
+      let ai = if i < Array.length a then a.(i) else 0 in
+      let bi = if i < Array.length b then b.(i) else 0 in
+      Gf.add f (Gf.of_int f ai) (Gf.of_int f bi))
+
+let scale f c p = Array.map (fun x -> Gf.mul f (Gf.of_int f c) (Gf.of_int f x)) p
+
+let sub f a b = add f a (scale f (Gf.neg f 1) b)
+
+let mul f a b =
+  let da = Array.length a and db = Array.length b in
+  if da = 0 || db = 0 then [||]
+  else begin
+    let r = Array.make (da + db - 1) 0 in
+    for i = 0 to da - 1 do
+      for j = 0 to db - 1 do
+        r.(i + j) <-
+          Gf.add f r.(i + j) (Gf.mul f (Gf.of_int f a.(i)) (Gf.of_int f b.(j)))
+      done
+    done;
+    r
+  end
+
+let roots f p =
+  List.filter (fun x -> eval f p x = 0) (Gf.elements f)
+
+let interpolate f points =
+  let xs = List.map fst points in
+  let distinct =
+    List.length (List.sort_uniq compare xs) = List.length xs
+  in
+  if not distinct then invalid_arg "Poly.interpolate: duplicate x values";
+  (* Lagrange basis: Σ yᵢ · Πⱼ≠ᵢ (x − xⱼ)/(xᵢ − xⱼ). *)
+  List.fold_left
+    (fun acc (xi, yi) ->
+      let basis =
+        List.fold_left
+          (fun b (xj, _) ->
+            if xj = xi then b
+            else
+              let denom = Gf.sub f xi xj in
+              let factor = [| Gf.div f (Gf.neg f xj) denom; Gf.inv f denom |] in
+              mul f b factor)
+          [| 1 |] points
+      in
+      add f acc (scale f yi basis))
+    [| 0 |] points
+
+let equal f a b =
+  let d = max (Array.length a) (Array.length b) in
+  let coeff p i = if i < Array.length p then Gf.of_int f p.(i) else 0 in
+  let rec go i = i >= d || (coeff a i = coeff b i && go (i + 1)) in
+  go 0

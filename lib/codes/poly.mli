@@ -1,0 +1,32 @@
+(** Polynomials over a prime field, coefficient-array representation.
+
+    A Reed–Solomon codeword is the evaluation vector of the message
+    polynomial; the distance proof rests on "a nonzero degree-< L polynomial
+    has < L roots", which {!roots} lets the test suite check directly. *)
+
+type t = int array
+(** [p.(i)] is the coefficient of [x^i].  High zero coefficients are
+    allowed; [degree] ignores them. *)
+
+val degree : Gf.t -> t -> int
+(** Degree, with [degree [||] = -1] and degree of the zero polynomial
+    [-1]. *)
+
+val eval : Gf.t -> t -> int -> int
+(** Horner evaluation. *)
+
+val add : Gf.t -> t -> t -> t
+val sub : Gf.t -> t -> t -> t
+val mul : Gf.t -> t -> t -> t
+val scale : Gf.t -> int -> t -> t
+
+val roots : Gf.t -> t -> int list
+(** All field elements where the polynomial vanishes (brute force over the
+    field — fields here are tiny). *)
+
+val interpolate : Gf.t -> (int * int) list -> t
+(** Lagrange interpolation through the given (x, y) points; the xs must be
+    distinct.  Returns a polynomial of degree < number of points. *)
+
+val equal : Gf.t -> t -> t -> bool
+(** Equality as field polynomials (trailing zeros ignored). *)

@@ -1,0 +1,36 @@
+let make ~p ~l ~m =
+  if not (Stdx.Primes.is_prime p) then
+    invalid_arg "Reed_solomon.make: p must be prime";
+  if l < 1 || m < l || m > p then
+    invalid_arg "Reed_solomon.make: need 1 <= l <= m <= p";
+  let field = Gf.make p in
+  let encode msg =
+    if Array.length msg <> l then
+      invalid_arg "Reed_solomon.encode: bad message length";
+    Array.iter
+      (fun s ->
+        if s < 0 || s >= p then
+          invalid_arg "Reed_solomon.encode: symbol out of alphabet")
+      msg;
+    Array.init m (fun x -> Poly.eval field msg x)
+  in
+  { Code_mapping.l; m; d = m - l + 1; q = p; encode }
+
+let decode_unique ~p ~l word =
+  let field = Gf.make p in
+  let m = Array.length word in
+  if m < l then None
+  else begin
+    let points = List.init l (fun i -> (i, word.(i))) in
+    let poly = Poly.interpolate field points in
+    if Poly.degree field poly >= l then None
+    else begin
+      let consistent = ref true in
+      for x = 0 to m - 1 do
+        if Poly.eval field poly x <> Gf.of_int field word.(x) then
+          consistent := false
+      done;
+      if not !consistent then None
+      else Some (Array.init l (fun i -> if i < Array.length poly then Gf.of_int field poly.(i) else 0))
+    end
+  end

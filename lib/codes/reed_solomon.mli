@@ -1,0 +1,22 @@
+(** Reed–Solomon codes: the constructive witness for Theorem 4.
+
+    A message [(c₀, ..., c_{L-1}) ∈ GF(p)^L] is read as the polynomial
+    [c₀ + c₁x + ... + c_{L-1}x^{L-1}] and encoded as its evaluations at [M]
+    fixed distinct points.  Two distinct degree-< L polynomials agree on at
+    most [L−1] points, so distinct codewords are at distance at least
+    [M − L + 1 > M − L = d] — meeting Definition 3's requirement with one
+    symbol to spare. *)
+
+val make : p:int -> l:int -> m:int -> Code_mapping.t
+(** [make ~p ~l ~m] is the RS code-mapping over GF(p) with message length
+    [l], codeword length [m], evaluation points [0 .. m-1], alphabet size
+    [p], and recorded distance [d = m - l + 1].
+
+    Raises [Invalid_argument] unless [p] is prime, [1 <= l <= m <= p]. *)
+
+val decode_unique : p:int -> l:int -> int array -> int array option
+(** Erasure-free brute-force decoding used in tests: interpolate the first
+    [l] coordinates and check consistency with the rest; [None] when the
+    word is not a codeword.  (We never need error correction — the paper
+    only uses the distance property — but round-tripping encode/decode is a
+    strong implementation check.) *)

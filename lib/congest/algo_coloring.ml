@@ -1,0 +1,95 @@
+(* Phase layout (round mod 2):
+     0: uncolored nodes draw a random color from their residual palette and
+        propose it to all neighbors; a node whose palette knowledge says a
+        neighbor locked color c never proposes c again.
+     1: a proposal is locked iff no *uncolored* neighbor proposed the same
+        color; locking nodes announce (color, locked=1) and halt one phase
+        later so the announcement is delivered.
+
+   Message: Pair (color, flag) with flag 1 = locked announcement,
+   flag 0 = proposal. *)
+
+let color =
+  {
+    Program.name = "trial-coloring";
+    spawn =
+      (fun view ->
+        let deg = Array.length view.Program.neighbors in
+        let palette_size = deg + 1 in
+        let color_width =
+          max 1 (Stdx.Mathx.ceil_log2 (max 2 palette_size))
+        in
+        let widths = (color_width, 1) in
+        let forbidden = Hashtbl.create 8 in
+        (* colors locked by neighbors *)
+        let my_color = ref None in
+        (* locked color *)
+        let proposal = ref None in
+        let announced = ref false in
+        let halted = ref false in
+        let send_all msg =
+          Array.to_list
+            (Array.map (fun nb -> (nb, msg)) view.Program.neighbors)
+        in
+        let residual_palette () =
+          let rec collect c acc =
+            if c < 0 then acc
+            else
+              collect (c - 1)
+                (if Hashtbl.mem forbidden c then acc else c :: acc)
+          in
+          collect (palette_size - 1) []
+        in
+        let step ~round ~inbox =
+          match round mod 2 with
+          | 0 ->
+              (* Consume lock announcements from the previous phase. *)
+              List.iter
+                (fun (_, (m : Msg.t)) ->
+                  match m.Msg.payload with
+                  | Msg.Pair (c, 1) -> Hashtbl.replace forbidden c ()
+                  | _ -> ())
+                inbox;
+              if !my_color <> None then begin
+                (* Stay one extra phase so the lock announcement lands. *)
+                halted := true;
+                []
+              end
+              else begin
+                match residual_palette () with
+                | [] ->
+                    (* Impossible: palette has deg+1 colors and at most deg
+                       neighbors can lock. *)
+                    assert false
+                | palette ->
+                    let c =
+                      List.nth palette
+                        (Stdx.Prng.int view.Program.rng (List.length palette))
+                    in
+                    proposal := Some c;
+                    send_all (Msg.pair_msg ~widths (c, 0))
+              end
+          | _ ->
+              let conflict = ref false in
+              List.iter
+                (fun (_, (m : Msg.t)) ->
+                  match m.Msg.payload with
+                  | Msg.Pair (c, 0) ->
+                      if !proposal = Some c then conflict := true
+                  | _ -> ())
+                inbox;
+              (match (!proposal, !conflict) with
+              | Some c, false ->
+                  my_color := Some c;
+                  announced := true;
+                  send_all (Msg.pair_msg ~widths (c, 1))
+              | _ ->
+                  proposal := None;
+                  [])
+        in
+        {
+          Program.step;
+          halted = (fun () -> !halted);
+          output = (fun () -> !my_color);
+        });
+  }

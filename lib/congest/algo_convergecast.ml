@@ -1,0 +1,103 @@
+(* Tagged messages: Pair (tag, value) with tag 0 = BFS wave, 1 = "you are
+   my parent", 2 = partial aggregate.
+
+   Timeline for a node adopting the wave at round r (the root "adopts" at
+   round 0): it relays the wave and claims its parent during round r; its
+   children adopt at r+1 and their claims arrive in the inbox of round
+   r+2 — after which the children set is final, because every neighbor has
+   adopted some parent by then.  A node forwards its aggregate once the
+   children set is final and every child has reported. *)
+
+let tag_wave = 0
+let tag_claim = 1
+let tag_value = 2
+
+let make ~name ~root ~value_width ~combine ~contribution =
+  {
+    Program.name;
+    spawn =
+      (fun view ->
+        let me = view.Program.id in
+        let widths = (2, value_width) in
+        let is_root = me = root in
+        let adopted_round = ref (if is_root then Some 0 else None) in
+        let parent = ref None in
+        let children = Hashtbl.create 4 in
+        let acc = ref 0 in
+        let reports = ref 0 in
+        let done_ = ref false in
+        let result = ref None in
+        let send_all msg =
+          Array.to_list (Array.map (fun nb -> (nb, msg)) view.Program.neighbors)
+        in
+        let step ~round ~inbox =
+          let just_adopted = ref (is_root && round = 0) in
+          List.iter
+            (fun (src, (m : Msg.t)) ->
+              match m.Msg.payload with
+              | Msg.Pair (tag, v) ->
+                  if tag = tag_wave then begin
+                    if !adopted_round = None then begin
+                      adopted_round := Some round;
+                      parent := Some src;
+                      just_adopted := true
+                    end
+                  end
+                  else if tag = tag_claim then Hashtbl.replace children src ()
+                  else if tag = tag_value then begin
+                    acc := combine !acc v;
+                    incr reports
+                  end
+              | _ -> ())
+            inbox;
+          let outbox = ref [] in
+          if !just_adopted then begin
+            (* The wave skips the parent edge (the parent already has it),
+               which also keeps the per-edge round budget to one message. *)
+            let wave = Msg.pair_msg ~widths (tag_wave, 0) in
+            (match !parent with
+            | Some pr ->
+                Array.iter
+                  (fun nb -> if nb <> pr then outbox := (nb, wave) :: !outbox)
+                  view.Program.neighbors;
+                outbox := (pr, Msg.pair_msg ~widths (tag_claim, 0)) :: !outbox
+            | None -> outbox := send_all wave)
+          end;
+          (match !adopted_round with
+          | Some r0
+            when round >= r0 + 2
+                 && (not !done_)
+                 && !reports = Hashtbl.length children ->
+              let total = combine !acc (contribution view) in
+              if is_root then result := Some total
+              else (
+                match !parent with
+                | Some pr ->
+                    outbox :=
+                      (pr, Msg.pair_msg ~widths (tag_value, total)) :: !outbox
+                | None -> ());
+              done_ := true
+          | _ -> ());
+          !outbox
+        in
+        {
+          Program.step;
+          halted = (fun () -> !done_);
+          output = (fun () -> !result);
+        });
+  }
+
+let sum_of_weights ~root ~value_width =
+  make ~name:"convergecast-weight-sum" ~root ~value_width ~combine:( + )
+    ~contribution:(fun view -> view.Program.weight)
+
+let count_nodes ~root ~value_width =
+  make ~name:"convergecast-count" ~root ~value_width ~combine:( + )
+    ~contribution:(fun _ -> 1)
+
+let max_weight ~root ~value_width =
+  make ~name:"convergecast-max-weight" ~root ~value_width ~combine:max
+    ~contribution:(fun view -> view.Program.weight)
+
+let aggregate ~name ~root ~value_width ~combine ~contribution =
+  make ~name ~root ~value_width ~combine ~contribution

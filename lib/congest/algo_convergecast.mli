@@ -1,0 +1,36 @@
+(** BFS-tree convergecast: aggregate a value at a root in [O(D)] rounds.
+
+    The standard CONGEST aggregation primitive (and the building block the
+    folklore "learn m, then gather" preprocessing would use): a BFS wave
+    from the root fixes parents, children identify themselves one round
+    later, and partial sums flow up as soon as every child has reported.
+
+    Message sizes: a 2-bit tag plus a [value_width]-bit value, so the
+    caller must pick [value_width] large enough for the total aggregate
+    (e.g. [⌈log₂(Σw+1)⌉] for a weight sum) and small enough for the
+    bandwidth budget ([value_width + 2 <= c·⌈log n⌉]). *)
+
+val sum_of_weights : root:int -> value_width:int -> int Program.t
+(** Every node contributes its weight; the root outputs the total weight
+    of its connected component (other nodes output nothing).  Completes in
+    [O(eccentricity root)] rounds; all nodes halt. *)
+
+val count_nodes : root:int -> value_width:int -> int Program.t
+(** Same machinery with contribution 1: the root outputs the size of its
+    component. *)
+
+val max_weight : root:int -> value_width:int -> int Program.t
+(** The maximum node weight in the root's component. *)
+
+val aggregate :
+  name:string ->
+  root:int ->
+  value_width:int ->
+  combine:(int -> int -> int) ->
+  contribution:(Program.view -> int) ->
+  int Program.t
+(** The general form: any commutative, associative [combine] whose values
+    stay within [value_width] bits (sums, maxima, bitwise-or of flags,
+    ...).  The root outputs the fold of [contribution] over its component;
+    correctness needs [combine] commutative/associative because subtree
+    results arrive in arbitrary order. *)

@@ -1,0 +1,49 @@
+let max_id ~rounds =
+  {
+    Program.name = "max-id-flood";
+    spawn =
+      (fun view ->
+        let best = ref view.Program.id in
+        let changed = ref true in
+        let done_ = ref false in
+        let n = view.Program.n in
+        {
+          Program.step =
+            (fun ~round ~inbox ->
+              List.iter
+                (fun (_, (m : Msg.t)) ->
+                  match m.Msg.payload with
+                  | Msg.Int v -> if v > !best then begin best := v; changed := true end
+                  | _ -> ())
+                inbox;
+              let outbox =
+                if !changed then
+                  Array.to_list
+                    (Array.map
+                       (fun nb -> (nb, Msg.id_msg ~n !best))
+                       view.Program.neighbors)
+                else []
+              in
+              changed := false;
+              if round + 1 >= rounds then done_ := true;
+              outbox);
+          halted = (fun () -> !done_);
+          output = (fun () -> Some !best);
+        });
+  }
+
+let leader_election ~rounds =
+  let inner = max_id ~rounds in
+  {
+    Program.name = "leader-election";
+    spawn =
+      (fun view ->
+        let inst = inner.Program.spawn view in
+        {
+          Program.step = inst.Program.step;
+          halted = inst.Program.halted;
+          output =
+            (fun () ->
+              Option.map (fun m -> m = view.Program.id) (inst.Program.output ()));
+        });
+  }

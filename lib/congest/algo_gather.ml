@@ -1,0 +1,89 @@
+module Graph = Wgraph.Graph
+
+(* Facts are flooded with per-edge pipelining: each node keeps an
+   append-only log of the facts it knows and a per-neighbor cursor; each
+   round it sends each neighbor the next fact that neighbor hasn't been
+   sent.  A fact is a triple (kind, a, b): kind 0 = edge {a, b} (a < b),
+   kind 1 = weight of node a is b. *)
+
+type fact = Edge of int * int | Weight of int * int
+
+let gather ~m ~solve =
+  {
+    Program.name = "gather-topology";
+    spawn =
+      (fun view ->
+        let n = view.Program.n in
+        let idw = Msg.id_width ~n in
+        let weight_width = 2 * idw in
+        let widths = (1, idw, weight_width) in
+        let known : (fact, unit) Hashtbl.t = Hashtbl.create 64 in
+        let log : fact Stdx.Dynvec.t = Stdx.Dynvec.create () in
+        let learn f =
+          if not (Hashtbl.mem known f) then begin
+            Hashtbl.replace known f ();
+            Stdx.Dynvec.push log f
+          end
+        in
+        learn (Weight (view.Program.id, view.Program.weight));
+        Array.iter
+          (fun nb ->
+            learn
+              (Edge (min view.Program.id nb, max view.Program.id nb)))
+          view.Program.neighbors;
+        let deg = Array.length view.Program.neighbors in
+        let cursor = Array.make deg 0 in
+        let complete () = Hashtbl.length known >= n + m in
+        let drained () =
+          let all = ref true in
+          Array.iter (fun c -> if c < Stdx.Dynvec.length log then all := false) cursor;
+          !all
+        in
+        let halted = ref false in
+        let result = ref None in
+        let reconstruct () =
+          let g = Graph.create n in
+          Hashtbl.iter
+            (fun f () ->
+              match f with
+              | Edge (u, v) -> Graph.add_edge g u v
+              | Weight (v, w) -> Graph.set_weight g v w)
+            known;
+          g
+        in
+        let msg_of_fact = function
+          | Edge (u, v) -> Msg.triple_msg ~widths (0, u, v)
+          | Weight (v, w) -> Msg.triple_msg ~widths (1, v, w)
+        in
+        let fact_of_msg (m : Msg.t) =
+          match m.Msg.payload with
+          | Msg.Triple (0, u, v) -> Some (Edge (u, v))
+          | Msg.Triple (1, v, w) -> Some (Weight (v, w))
+          | _ -> None
+        in
+        {
+          Program.step =
+            (fun ~round:_ ~inbox ->
+              List.iter
+                (fun (_, m) ->
+                  match fact_of_msg m with Some f -> learn f | None -> ())
+                inbox;
+              let outbox = ref [] in
+              Array.iteri
+                (fun i nb ->
+                  if cursor.(i) < Stdx.Dynvec.length log then begin
+                    outbox := (nb, msg_of_fact (Stdx.Dynvec.get log cursor.(i))) :: !outbox;
+                    cursor.(i) <- cursor.(i) + 1
+                  end)
+                view.Program.neighbors;
+              if complete () && drained () then begin
+                result := Some (solve (reconstruct ()));
+                halted := true
+              end;
+              !outbox);
+          halted = (fun () -> !halted);
+          output = (fun () -> !result);
+        });
+  }
+
+let exact_maxis ~m = gather ~m ~solve:(fun g -> (Mis.Exact.solve g).Mis.Exact.weight)

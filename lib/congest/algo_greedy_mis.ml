@@ -1,0 +1,5 @@
+let mis =
+  Local_maxima.make ~name:"greedy-weight-mis"
+    ~draw:(fun view ~phase:_ ->
+      let w = view.Program.weight in
+      { Local_maxima.value = w; width = max 1 (Stdx.Mathx.ceil_log2 (w + 1)) })

@@ -1,0 +1,113 @@
+(* Phase layout (round mod 3):
+     0: consume matched-announcements (shrinking the active neighbor set);
+        a node with no active neighbors left halts; proposers send a
+        proposal to one random active neighbor.
+     1: acceptors accept the smallest-id proposal (if any) and are thereby
+        matched; the accept message is the handshake.
+     2: proposers receiving an accept are matched; both sides of every new
+        pair announce "matched" to all neighbors and halt afterwards.
+
+   Tags: 0 = proposal, 1 = accept, 2 = matched-announcement. *)
+
+let tag_propose = 0
+let tag_accept = 1
+let tag_matched = 2
+
+let maximal_matching =
+  {
+    Program.name = "maximal-matching";
+    spawn =
+      (fun view ->
+        let widths = (2, 1) in
+        let active = Hashtbl.create 8 in
+        Array.iter
+          (fun nb -> Hashtbl.replace active nb ())
+          view.Program.neighbors;
+        let partner = ref None in
+        let is_proposer = ref false in
+        let proposed_to = ref None in
+        let must_announce = ref false in
+        let halted = ref false in
+        let send_all msg =
+          Array.to_list
+            (Array.map (fun nb -> (nb, msg)) view.Program.neighbors)
+        in
+        let step ~round ~inbox =
+          match round mod 3 with
+          | 0 ->
+              List.iter
+                (fun (src, (m : Msg.t)) ->
+                  match m.Msg.payload with
+                  | Msg.Pair (t, _) when t = tag_matched ->
+                      Hashtbl.remove active src
+                  | _ -> ())
+                inbox;
+              if !partner <> None then begin
+                (* Matched last phase: the announcement went out at the end
+                   of that phase; rest now. *)
+                halted := true;
+                []
+              end
+              else if Hashtbl.length active = 0 then begin
+                (* Maximality witness: every neighbor is matched. *)
+                halted := true;
+                []
+              end
+              else begin
+                is_proposer := Stdx.Prng.bool view.Program.rng;
+                proposed_to := None;
+                if !is_proposer then begin
+                  let nbrs =
+                    Array.of_seq (Hashtbl.to_seq_keys active)
+                  in
+                  Array.sort compare nbrs;
+                  let target = nbrs.(Stdx.Prng.int view.Program.rng (Array.length nbrs)) in
+                  proposed_to := Some target;
+                  [ (target, Msg.pair_msg ~widths (tag_propose, 0)) ]
+                end
+                else []
+              end
+          | 1 ->
+              if !partner = None && not !is_proposer then begin
+                let best = ref None in
+                List.iter
+                  (fun (src, (m : Msg.t)) ->
+                    match m.Msg.payload with
+                    | Msg.Pair (t, _) when t = tag_propose -> (
+                        match !best with
+                        | Some b when b <= src -> ()
+                        | _ -> best := Some src)
+                    | _ -> ())
+                  inbox;
+                match !best with
+                | Some src ->
+                    partner := Some src;
+                    must_announce := true;
+                    [ (src, Msg.pair_msg ~widths (tag_accept, 0)) ]
+                | None -> []
+              end
+              else []
+          | _ ->
+              let outbox = ref [] in
+              if !is_proposer && !partner = None then
+                List.iter
+                  (fun (src, (m : Msg.t)) ->
+                    match m.Msg.payload with
+                    | Msg.Pair (t, _)
+                      when t = tag_accept && !proposed_to = Some src ->
+                        partner := Some src;
+                        must_announce := true
+                    | _ -> ())
+                  inbox;
+              if !must_announce then begin
+                must_announce := false;
+                outbox := send_all (Msg.pair_msg ~widths (tag_matched, 0))
+              end;
+              !outbox
+        in
+        {
+          Program.step;
+          halted = (fun () -> !halted);
+          output = (fun () -> !partner);
+        });
+  }

@@ -1,0 +1,106 @@
+(* Phase layout (round mod 3):
+     0: active nodes draw and send a priority; covered-announcements from
+        the previous phase are consumed here.
+     1: active nodes compare their (priority, id) with received ones;
+        strict local maxima join the MIS and announce with [Bool true].
+     2: active nodes hearing a join become covered, announce [Bool false]
+        and halt; joiners halt.
+
+   [active_neighbors] shrinks as join/covered announcements arrive;
+   priorities are only compared against currently active neighbors.  In
+   every phase the globally largest (priority, id) among active nodes is a
+   local maximum, so at least one node decides per phase and the algorithm
+   terminates. *)
+
+type priority = { value : int; width : int }
+
+type status = Active | In_mis | Covered
+
+let make ~name ~draw =
+  {
+    Program.name;
+    spawn =
+      (fun view ->
+        let status = ref Active in
+        let active_neighbors = Hashtbl.create 8 in
+        Array.iter
+          (fun nb -> Hashtbl.replace active_neighbors nb ())
+          view.Program.neighbors;
+        let my_prio = ref 0 in
+        let recv_prios : (int, int) Hashtbl.t = Hashtbl.create 8 in
+        let halted = ref false in
+        let send_all msg =
+          Array.to_list
+            (Array.map (fun nb -> (nb, msg)) view.Program.neighbors)
+        in
+        let step ~round ~inbox =
+          match round mod 3 with
+          | 0 ->
+              List.iter
+                (fun (src, (m : Msg.t)) ->
+                  match m.Msg.payload with
+                  | Msg.Bool false -> Hashtbl.remove active_neighbors src
+                  | _ -> ())
+                inbox;
+              if !status = Active then begin
+                let p = draw view ~phase:(round / 3) in
+                my_prio := p.value;
+                send_all (Msg.int_msg ~width:p.width p.value)
+              end
+              else []
+          | 1 ->
+              Hashtbl.reset recv_prios;
+              List.iter
+                (fun (src, (m : Msg.t)) ->
+                  match m.Msg.payload with
+                  | Msg.Int p ->
+                      if Hashtbl.mem active_neighbors src then
+                        Hashtbl.replace recv_prios src p
+                  | _ -> ())
+                inbox;
+              if !status = Active then begin
+                let i_win =
+                  Hashtbl.fold
+                    (fun src p acc ->
+                      acc && (!my_prio, view.Program.id) > (p, src))
+                    recv_prios true
+                in
+                if i_win then begin
+                  status := In_mis;
+                  send_all (Msg.bool_msg true)
+                end
+                else []
+              end
+              else []
+          | _ ->
+              let neighbor_joined = ref false in
+              List.iter
+                (fun (src, (m : Msg.t)) ->
+                  match m.Msg.payload with
+                  | Msg.Bool true ->
+                      Hashtbl.remove active_neighbors src;
+                      neighbor_joined := true
+                  | _ -> ())
+                inbox;
+              if !status = In_mis then begin
+                halted := true;
+                []
+              end
+              else if !status = Active && !neighbor_joined then begin
+                status := Covered;
+                halted := true;
+                send_all (Msg.bool_msg false)
+              end
+              else []
+        in
+        {
+          Program.step;
+          halted = (fun () -> !halted);
+          output =
+            (fun () ->
+              match !status with
+              | In_mis -> Some true
+              | Covered -> Some false
+              | Active -> None);
+        });
+  }

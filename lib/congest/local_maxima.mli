@@ -1,0 +1,18 @@
+(** Shared engine for "local maxima join" MIS algorithms.
+
+    Luby's algorithm and the distributed greedy weighted MIS share the same
+    3-round phase skeleton: undecided nodes announce a priority, strict
+    local maxima (ties broken by id) join the independent set and announce
+    it, and covered neighbors drop out and announce that.  The two
+    algorithms differ only in the priority: fresh randomness per phase for
+    Luby, the static node weight for greedy.  This module implements the
+    skeleton once. *)
+
+type priority = {
+  value : int;  (** compared lexicographically with (value, id) *)
+  width : int;  (** declared message width in bits *)
+}
+
+val make : name:string -> draw:(Program.view -> phase:int -> priority) -> bool Program.t
+(** [draw] is called once per phase on each still-active node.  Output per
+    node: [Some true] if it joined the MIS, [Some false] if covered. *)

@@ -1,0 +1,46 @@
+type payload =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Pair of int * int
+  | Triple of int * int * int
+
+type t = { bits : int; payload : payload }
+
+let check_fits width v =
+  if v < 0 then invalid_arg "Msg: negative payload";
+  if width < 63 && v >= 1 lsl width then
+    invalid_arg
+      (Printf.sprintf "Msg: value %d does not fit in %d bits" v width)
+
+let unit_msg = { bits = 1; payload = Unit }
+let bool_msg b = { bits = 1; payload = Bool b }
+
+let int_msg ~width v =
+  check_fits width v;
+  { bits = width; payload = Int v }
+
+let pair_msg ~widths:(w1, w2) (a, b) =
+  check_fits w1 a;
+  check_fits w2 b;
+  { bits = w1 + w2; payload = Pair (a, b) }
+
+let triple_msg ~widths:(w1, w2, w3) (a, b, c) =
+  check_fits w1 a;
+  check_fits w2 b;
+  check_fits w3 c;
+  { bits = w1 + w2 + w3; payload = Triple (a, b, c) }
+
+let id_width ~n = max 1 (Stdx.Mathx.ceil_log2 (max 2 n))
+
+let id_msg ~n v = int_msg ~width:(id_width ~n) v
+
+let pp ppf m =
+  let p ppf = function
+    | Unit -> Format.fprintf ppf "()"
+    | Bool b -> Format.fprintf ppf "%b" b
+    | Int i -> Format.fprintf ppf "%d" i
+    | Pair (a, b) -> Format.fprintf ppf "(%d,%d)" a b
+    | Triple (a, b, c) -> Format.fprintf ppf "(%d,%d,%d)" a b c
+  in
+  Format.fprintf ppf "msg[%db]%a" m.bits p m.payload

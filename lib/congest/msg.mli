@@ -1,0 +1,37 @@
+(** Messages of the CONGEST model, with explicit bit sizes.
+
+    In the CONGEST model each edge carries an [O(log n)]-bit message per
+    round and direction.  Making the size a declared field of every message
+    lets the runtime {e enforce} the bandwidth constraint (rejecting
+    oversized sends) and lets the simulation argument of Theorem 5 meter
+    exactly how many bits cross the player partition. *)
+
+type payload =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Pair of int * int
+  | Triple of int * int * int
+
+type t = { bits : int; payload : payload }
+
+val unit_msg : t
+(** 1 bit: a pure "ping". *)
+
+val bool_msg : bool -> t
+
+val int_msg : width:int -> int -> t
+(** [int_msg ~width v] declares [width] bits.  Raises [Invalid_argument]
+    when [v] is negative or does not fit. *)
+
+val pair_msg : widths:int * int -> int * int -> t
+val triple_msg : widths:int * int * int -> int * int * int -> t
+
+val id_width : n:int -> int
+(** Bits needed for a node id in an [n]-node network:
+    [max 1 ⌈log₂ n⌉]. *)
+
+val id_msg : n:int -> int -> t
+(** A node-id message of [id_width ~n] bits. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type view = {
+  id : int;
+  n : int;
+  weight : int;
+  neighbors : int array;
+  rng : Stdx.Prng.t;
+}
+
+type 'out instance = {
+  step : round:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list;
+  halted : unit -> bool;
+  output : unit -> 'out option;
+}
+
+type 'out t = { name : string; spawn : view -> 'out instance }

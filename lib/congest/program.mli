@@ -1,0 +1,34 @@
+(** Node programs: the algorithms that run in the CONGEST model.
+
+    A program describes what one node does: it is spawned with the node's
+    {e local view} (its id, weight, neighbor ids, and the network size [n]
+    — the standard knowledge assumption in CONGEST), and then steps once
+    per synchronous round, consuming the messages received on its incident
+    edges and emitting at most one message per incident edge.
+
+    Node state is hidden inside the spawned closure, so the runtime is
+    polymorphic only in the program's {e output} type. *)
+
+type view = {
+  id : int;  (** this node's id (also its index in the underlying graph) *)
+  n : int;  (** number of nodes in the network *)
+  weight : int;  (** this node's weight (the paper's [w(v)]) *)
+  neighbors : int array;  (** ids of adjacent nodes, ascending *)
+  rng : Stdx.Prng.t;  (** private randomness stream *)
+}
+
+type 'out instance = {
+  step : round:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list;
+      (** [step ~round ~inbox] consumes [(sender, message)] pairs and
+          returns [(recipient, message)] pairs; recipients must be
+          neighbors.  Called once per round until the node halts. *)
+  halted : unit -> bool;
+      (** Once true, the node is skipped (and sends nothing). *)
+  output : unit -> 'out option;
+      (** The node's final (or current) local output. *)
+}
+
+type 'out t = {
+  name : string;
+  spawn : view -> 'out instance;
+}

@@ -1,0 +1,124 @@
+module Graph = Wgraph.Graph
+
+exception
+  Bandwidth_exceeded of {
+    round : int;
+    src : int;
+    dst : int;
+    bits : int;
+    limit : int;
+  }
+
+exception Illegal_recipient of { round : int; src : int; dst : int }
+
+type mode = Unicast | Broadcast
+
+type config = { max_rounds : int; bandwidth_factor : int; mode : mode; seed : int }
+
+let default_config =
+  { max_rounds = 10_000; bandwidth_factor = 4; mode = Unicast; seed = 42 }
+
+type 'out result = {
+  outputs : 'out option array;
+  rounds_executed : int;
+  all_halted : bool;
+  trace : Trace.t;
+}
+
+let bandwidth_bits config ~n =
+  config.bandwidth_factor * Msg.id_width ~n
+
+let check_broadcast_uniform round src outbox =
+  match outbox with
+  | [] | [ _ ] -> ()
+  | (_, first) :: rest ->
+      List.iter
+        (fun (_, (m : Msg.t)) ->
+          if m.Msg.payload <> first.Msg.payload || m.Msg.bits <> first.Msg.bits
+          then
+            invalid_arg
+              (Printf.sprintf
+                 "Runtime: node %d sent non-uniform messages in broadcast \
+                  mode at round %d"
+                 src round))
+        rest
+
+let run ?(config = default_config) (program : 'out Program.t) g =
+  let n = Graph.n g in
+  let limit = bandwidth_bits config ~n in
+  let master_rng = Stdx.Prng.create config.seed in
+  (* Spawn in ascending node order: per-node randomness streams are then a
+     pure function of (seed, node id), which Maxis_core.Player_sim relies
+     on to replay identical executions. *)
+  let spawn v =
+    let view =
+      {
+        Program.id = v;
+        n;
+        weight = Graph.weight g v;
+        neighbors = Stdx.Bitset.to_array (Graph.neighbors g v);
+        rng = Stdx.Prng.split master_rng;
+      }
+    in
+    program.Program.spawn view
+  in
+  let instances =
+    let rec build v acc =
+      if v = n then List.rev acc else build (v + 1) (spawn v :: acc)
+    in
+    Array.of_list (build 0 [])
+  in
+  let trace = Trace.create () in
+  (* inboxes.(v) holds the messages delivered to v at the start of the
+     current round, as (sender, msg) pairs. *)
+  let inboxes : (int * Msg.t) list array = Array.make n [] in
+  let next_inboxes : (int * Msg.t) list array = Array.make n [] in
+  (* per-round, per-directed-edge bit budget bookkeeping *)
+  let sent_this_round : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let round = ref 0 in
+  let all_halted () =
+    Array.for_all (fun inst -> inst.Program.halted ()) instances
+  in
+  while !round < config.max_rounds && not (all_halted ()) do
+    Hashtbl.reset sent_this_round;
+    Array.fill next_inboxes 0 n [];
+    for v = 0 to n - 1 do
+      let inst = instances.(v) in
+      if not (inst.Program.halted ()) then begin
+        let outbox = inst.Program.step ~round:!round ~inbox:inboxes.(v) in
+        (match config.mode with
+        | Unicast -> ()
+        | Broadcast -> check_broadcast_uniform !round v outbox);
+        List.iter
+          (fun (dst, (m : Msg.t)) ->
+            if not (Graph.has_edge g v dst) then
+              raise (Illegal_recipient { round = !round; src = v; dst });
+            let key = (v, dst) in
+            let already =
+              Option.value ~default:0 (Hashtbl.find_opt sent_this_round key)
+            in
+            let total = already + m.Msg.bits in
+            if total > limit then
+              raise
+                (Bandwidth_exceeded
+                   { round = !round; src = v; dst; bits = total; limit });
+            Hashtbl.replace sent_this_round key total;
+            Trace.record_send trace ~round:!round ~src:v ~dst ~bits:m.Msg.bits;
+            next_inboxes.(dst) <- (v, m) :: next_inboxes.(dst))
+          outbox
+      end
+    done;
+    (* Deliver: keep sender order deterministic (ascending sender id). *)
+    for v = 0 to n - 1 do
+      inboxes.(v) <-
+        List.sort (fun (a, _) (b, _) -> compare a b) next_inboxes.(v)
+    done;
+    incr round
+  done;
+  Trace.set_rounds trace !round;
+  {
+    outputs = Array.map (fun inst -> inst.Program.output ()) instances;
+    rounds_executed = !round;
+    all_halted = all_halted ();
+    trace;
+  }

@@ -1,0 +1,46 @@
+(** The synchronous CONGEST executor.
+
+    Executes a {!Program.t} on every node of a network (a weighted graph),
+    round by round: all nodes step simultaneously on the messages sent in
+    the previous round, and the per-edge bandwidth constraint — at most
+    [bandwidth_factor · ⌈log₂ n⌉] bits per directed edge per round — is
+    enforced at send time.  A run terminates when all nodes have halted or
+    when [max_rounds] is reached. *)
+
+exception Bandwidth_exceeded of { round : int; src : int; dst : int; bits : int; limit : int }
+exception Illegal_recipient of { round : int; src : int; dst : int }
+
+type mode =
+  | Unicast  (** the CONGEST model: different messages to different neighbors *)
+  | Broadcast
+      (** the CONGEST-Broadcast restriction (as in the triangle-detection
+          lower bound of Drucker–Kuhn–Oshman discussed in the paper's
+          introduction): in each round a node must send the same message to
+          every neighbor it addresses, and addressing any neighbor sends to
+          all of them. *)
+
+type config = {
+  max_rounds : int;
+  bandwidth_factor : int;  (** the [c] in [c·⌈log n⌉] bits per edge-round *)
+  mode : mode;
+  seed : int;  (** seeds the per-node private randomness *)
+}
+
+val default_config : config
+(** 10_000 rounds, factor 4, [Unicast], seed 42. *)
+
+type 'out result = {
+  outputs : 'out option array;  (** per node *)
+  rounds_executed : int;
+  all_halted : bool;
+  trace : Trace.t;
+}
+
+val bandwidth_bits : config -> n:int -> int
+(** The per-(edge, round, direction) bit budget. *)
+
+val run : ?config:config -> 'out Program.t -> Wgraph.Graph.t -> 'out result
+(** Raises {!Bandwidth_exceeded} when a node oversends,
+    {!Illegal_recipient} when it addresses a non-neighbor, and
+    [Invalid_argument] when [mode = Broadcast] and a node sends unequal
+    messages in one round. *)

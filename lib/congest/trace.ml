@@ -1,0 +1,53 @@
+type send = { round : int; src : int; dst : int; bits : int }
+
+type t = { sends : send Stdx.Dynvec.t; mutable executed_rounds : int }
+
+let create () = { sends = Stdx.Dynvec.create (); executed_rounds = 0 }
+
+let record_send t ~round ~src ~dst ~bits =
+  Stdx.Dynvec.push t.sends { round; src; dst; bits }
+
+let rounds t =
+  max t.executed_rounds
+    (Stdx.Dynvec.fold (fun acc s -> max acc (s.round + 1)) 0 t.sends)
+
+let set_rounds t r = t.executed_rounds <- r
+
+let total_messages t = Stdx.Dynvec.length t.sends
+
+let total_bits t = Stdx.Dynvec.fold (fun acc s -> acc + s.bits) 0 t.sends
+
+let bits_in_round t r =
+  Stdx.Dynvec.fold (fun acc s -> if s.round = r then acc + s.bits else acc) 0 t.sends
+
+let messages_in_round t r =
+  Stdx.Dynvec.fold (fun acc s -> if s.round = r then acc + 1 else acc) 0 t.sends
+
+let bits_on_edge t ~src ~dst =
+  Stdx.Dynvec.fold
+    (fun acc s -> if s.src = src && s.dst = dst then acc + s.bits else acc)
+    0 t.sends
+
+let cut_bits t part =
+  Stdx.Dynvec.fold
+    (fun acc s -> if part.(s.src) <> part.(s.dst) then acc + s.bits else acc)
+    0 t.sends
+
+let cut_messages t part =
+  Stdx.Dynvec.fold
+    (fun acc s -> if part.(s.src) <> part.(s.dst) then acc + 1 else acc)
+    0 t.sends
+
+let max_bits_per_edge_round t =
+  let tbl = Hashtbl.create 64 in
+  Stdx.Dynvec.iter
+    (fun s ->
+      let key = (s.round, s.src, s.dst) in
+      Hashtbl.replace tbl key
+        (s.bits + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    t.sends;
+  Hashtbl.fold (fun _ v acc -> max acc v) tbl 0
+
+let pp ppf t =
+  Format.fprintf ppf "trace(rounds=%d, msgs=%d, bits=%d)" (rounds t)
+    (total_messages t) (total_bits t)

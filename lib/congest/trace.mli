@@ -1,0 +1,44 @@
+(** Execution traces: the bit accounting behind the simulation theorem.
+
+    Theorem 5's proof counts the bits a CONGEST algorithm sends across the
+    player partition: [O(T · |cut| · log |V|)].  The runtime records every
+    directed send with its declared size, so after a run one can ask for
+    total bits, per-round bits, per-directed-edge bits, and — the key
+    quantity — bits crossing an arbitrary node partition. *)
+
+type t
+
+val create : unit -> t
+
+val record_send : t -> round:int -> src:int -> dst:int -> bits:int -> unit
+
+val rounds : t -> int
+(** Number of rounds that sent or could have sent messages (1 + highest
+    recorded round index; 0 when nothing was recorded). *)
+
+val set_rounds : t -> int -> unit
+(** The runtime stamps the actual executed round count (which can exceed
+    the last round that sent a message). *)
+
+val total_messages : t -> int
+val total_bits : t -> int
+
+val bits_in_round : t -> int -> int
+val messages_in_round : t -> int -> int
+
+val bits_on_edge : t -> src:int -> dst:int -> int
+(** Directed accumulation over the whole run. *)
+
+val cut_bits : t -> int array -> int
+(** [cut_bits tr part] is the number of bits sent on edges whose endpoints
+    lie in different parts — the blackboard cost of simulating the run in
+    the multi-party model. *)
+
+val cut_messages : t -> int array -> int
+
+val max_bits_per_edge_round : t -> int
+(** The largest per-(round, directed edge) total — must be at most the
+    configured bandwidth (the runtime enforces it; the trace re-derives it
+    for tests). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+module CP = Codes.Code_params
+module CM = Codes.Code_mapping
+
+type code_kind = Reed_solomon | Repetition
+
+let code_name = function
+  | Reed_solomon -> "reed-solomon"
+  | Repetition -> "repetition"
+
+let params_with_code kind ~alpha ~ell ~players =
+  let base = Params.make ~alpha ~ell ~players in
+  match kind with
+  | Reed_solomon -> base
+  | Repetition ->
+      let cp = base.Params.cp in
+      let weak =
+        CM.repetition ~q:cp.CP.q ~l:cp.CP.alpha ~m:cp.CP.positions
+      in
+      { base with Params.cp = { cp with CP.code = weak } }
+
+type report = {
+  kind : code_kind;
+  min_pairwise_distance : int;
+  worst_pair : int * int;
+  worst_matching : int;
+  ell : int;
+  property2_holds : bool;
+  claim2_opt : int;
+  claim2_bound : int;
+  claim2_holds : bool;
+  gap_ratio : float;
+}
+
+let analyze kind ~alpha ~ell =
+  let p = params_with_code kind ~alpha ~ell ~players:2 in
+  let k = Params.k p in
+  (* Scan all pairs for the minimum codeword distance. *)
+  let words = Array.init k (fun m -> Params.codeword p m) in
+  let best = ref (max_int, (0, 1)) in
+  for m1 = 0 to k - 1 do
+    for m2 = m1 + 1 to k - 1 do
+      let d = CM.distance words.(m1) words.(m2) in
+      if d < fst !best then best := (d, (m1, m2))
+    done
+  done;
+  let min_dist, (m1, m2) = !best in
+  let matching =
+    (Properties.property2 p ~i:0 ~j:1 ~m1 ~m2).Properties.measured
+  in
+  (* Feed the worst pair as the adversarial disjoint input. *)
+  let x = Commcx.Inputs.of_bit_lists ~k [ [ m1 ]; [ m2 ] ] in
+  let inst = Linear_family.instance p x in
+  let opt = Mis.Exact.opt inst.Family.graph in
+  let bound = (3 * ell) + (2 * alpha) + 1 in
+  {
+    kind;
+    min_pairwise_distance = min_dist;
+    worst_pair = (m1, m2);
+    worst_matching = matching;
+    ell;
+    property2_holds = matching >= ell;
+    claim2_opt = opt;
+    claim2_bound = bound;
+    claim2_holds = opt <= bound;
+    gap_ratio = float_of_int opt /. float_of_int ((4 * ell) + (2 * alpha));
+  }
+
+let bandwidth_report ~factors p ~intersecting ~seed =
+  let rng = Stdx.Prng.create seed in
+  let x =
+    Commcx.Inputs.gen_promise rng ~k:(Params.k p) ~t:p.Params.players
+      ~intersecting
+  in
+  let inst = Linear_family.instance p x in
+  List.map
+    (fun factor ->
+      let config =
+        { Congest.Runtime.default_config with Congest.Runtime.bandwidth_factor = factor }
+      in
+      let _, report =
+        Simulation.simulate ~config (Congest.Algo_flood.max_id ~rounds:5) inst
+      in
+      (factor, report))
+    factors

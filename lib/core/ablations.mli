@@ -1,0 +1,50 @@
+(** Ablations: which design choices of the construction are load-bearing?
+
+    The paper's gadget leans on a large-distance code (Theorem 4): Property
+    2 needs every two codewords to disagree on at least [ℓ] positions, and
+    the disjoint-side bounds (Claims 2 and 5) inherit that slack.  This
+    module rebuilds the {e same} family with the code swapped out for a
+    weak repetition code and measures what breaks:
+
+    - the worst-pair matching drops below [ℓ] (Property 2 fails), and
+    - adversarially chosen disjoint inputs push OPT {e above} the Claim-2
+      bound — the gap narrows, weakening the hardness the family proves.
+
+    (For [α = 1] every injective map into distinct symbols already has full
+    distance, so the ablation needs [α ≥ 2] — which is also the paper's
+    regime, where [α ≈ log k / log log k ≫ 1].) *)
+
+type code_kind = Reed_solomon | Repetition
+
+val code_name : code_kind -> string
+
+val params_with_code :
+  code_kind -> alpha:int -> ell:int -> players:int -> Params.t
+(** Same layout (positions, q, k) for either kind; only the code mapping —
+    and hence the [Code_m] node sets — differs.  Raises [Invalid_argument]
+    on bad parameters (as {!Params.make}). *)
+
+type report = {
+  kind : code_kind;
+  min_pairwise_distance : int;  (** over all [k(k-1)/2] codeword pairs *)
+  worst_pair : int * int;  (** the messages realizing it *)
+  worst_matching : int;  (** max matching for that pair (Property 2's quantity) *)
+  ell : int;  (** the distance Property 2 requires *)
+  property2_holds : bool;
+  claim2_opt : int;  (** exact OPT on the adversarial disjoint input *)
+  claim2_bound : int;  (** [3ℓ + 2α + 1] *)
+  claim2_holds : bool;
+  gap_ratio : float;  (** claim2_opt / (4ℓ+2α): the ratio the family still defeats *)
+}
+
+val analyze : code_kind -> alpha:int -> ell:int -> report
+(** Two-player analysis: scans all codeword pairs for the minimum distance,
+    feeds the worst pair as singleton inputs [({m₁}, {m₂})] into the
+    linear family, and solves exactly.  Intended for [alpha = 2] and small
+    [ℓ] (the scan is [O(k²·(ℓ+α))]). *)
+
+val bandwidth_report :
+  factors:int list -> Params.t -> intersecting:bool -> seed:int -> (int * Simulation.report) list
+(** Second ablation: the [c] in the [c·⌈log n⌉] bandwidth only rescales
+    Theorem 5's cap, never breaks it.  Runs the max-id flood under each
+    bandwidth factor and returns the per-factor simulation reports. *)

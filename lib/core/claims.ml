@@ -1,0 +1,124 @@
+module Inputs = Commcx.Inputs
+module Bitset = Stdx.Bitset
+module Graph = Wgraph.Graph
+
+type check = {
+  name : string;
+  holds : bool;
+  opt : int;
+  bound : int;
+  kind : [ `Lower | `Upper ];
+}
+
+let finish name kind opt bound =
+  let holds = match kind with `Lower -> opt >= bound | `Upper -> opt <= bound in
+  { name; holds; opt; bound; kind }
+
+let require_players p x n name =
+  if p.Params.players <> n || Inputs.t_players x <> n then
+    invalid_arg (name ^ ": wrong number of players")
+
+let linear_opt p x =
+  Mis.Exact.opt (Linear_family.instance p x).Family.graph
+
+let quadratic_opt p x =
+  Mis.Exact.opt (Quadratic_family.instance p x).Family.graph
+
+let claim1 p x =
+  require_players p x 2 "Claims.claim1";
+  if Inputs.pairwise_disjoint x then
+    invalid_arg "Claims.claim1: strings must intersect";
+  finish "Claim 1" `Lower (linear_opt p x)
+    ((4 * Params.ell p) + (2 * Params.alpha p))
+
+let claim2 p x =
+  require_players p x 2 "Claims.claim2";
+  if not (Inputs.pairwise_disjoint x) then
+    invalid_arg "Claims.claim2: strings must be disjoint";
+  finish "Claim 2" `Upper (linear_opt p x)
+    ((3 * Params.ell p) + (2 * Params.alpha p) + 1)
+
+let claim3 p x =
+  (match Inputs.uniquely_intersecting x with
+  | Some _ -> ()
+  | None -> invalid_arg "Claims.claim3: strings must share an index");
+  finish "Claim 3" `Lower (linear_opt p x) (Linear_family.high_weight p)
+
+let claim5 p x =
+  if not (Inputs.pairwise_disjoint x) then
+    invalid_arg "Claims.claim5: strings must be pairwise disjoint";
+  finish "Claim 5" `Upper (linear_opt p x) (Linear_family.low_weight p)
+
+let check_distinct_tuple name p ms =
+  let t = p.Params.players in
+  if Array.length ms <> t then invalid_arg (name ^ ": need t indices");
+  let sorted = Array.copy ms in
+  Array.sort compare sorted;
+  for i = 0 to t - 2 do
+    if sorted.(i) = sorted.(i + 1) then
+      invalid_arg (name ^ ": indices must be distinct")
+  done
+
+let claim4 p ~ms =
+  check_distinct_tuple "Claims.claim4" p ms;
+  let t = p.Params.players in
+  let g, _ = Linear_family.fixed p in
+  (* Candidates: exactly the union of the forced codewords' node sets —
+     the set Claim 4 counts over.  All weights are 1 in the fixed graph,
+     so the exact MIS weight is the cardinality. *)
+  let candidates = Bitset.create (Graph.n g) in
+  Array.iteri
+    (fun i m ->
+      Array.iter
+        (fun v -> Bitset.add candidates v)
+        (Base_graph.code_nodes p ~offset:(Linear_family.copy_offset p i) ~m))
+    ms;
+  let sol = Mis.Exact.solve_induced g candidates in
+  finish "Claim 4" `Upper sol.Mis.Exact.weight
+    (Params.ell p + (Params.alpha p * t * t))
+
+let corollary2 p ~ms =
+  let t = p.Params.players in
+  check_distinct_tuple "Claims.corollary2" p ms;
+  let g, _ = Linear_family.fixed p in
+  (* Force each v^i_{m_i} heavy and into the set: give it weight ℓ, and
+     restrict the candidate set to the forced nodes plus non-neighbors. *)
+  let forced =
+    Array.mapi
+      (fun i m ->
+        Base_graph.a_node p ~offset:(Linear_family.copy_offset p i) ~m)
+      ms
+  in
+  Array.iter (fun v -> Graph.set_weight g v (Params.ell p)) forced;
+  let candidates = Bitset.full (Graph.n g) in
+  Array.iter
+    (fun v -> Bitset.diff_in_place candidates (Graph.neighbors g v))
+    forced;
+  (* The forced nodes are pairwise non-adjacent (distinct copies), so they
+     all survive in [candidates]; any independent set within [candidates]
+     containing them is an independent set of G containing them. *)
+  (* [candidates] is exactly {forced} ∪ ∪ᵢ Codeⁱ_{mᵢ}: every other A node
+     is clique-adjacent to a forced node and every other code node is
+     adjacent to its copy's forced node.  The forced nodes conflict with
+     nothing in [candidates], so the induced optimum always contains them
+     and equals the best "I ⊇ {vⁱ_{mᵢ}}" completion the corollary bounds. *)
+  let sol = Mis.Exact.solve_induced g candidates in
+  finish "Corollary 2" `Upper sol.Mis.Exact.weight
+    (((t + 1) * Params.ell p) + (Params.alpha p * t * t))
+
+let claim6 p x =
+  (match Inputs.uniquely_intersecting x with
+  | Some _ -> ()
+  | None -> invalid_arg "Claims.claim6: strings must share an index");
+  finish "Claim 6" `Lower (quadratic_opt p x) (Quadratic_family.high_weight p)
+
+let claim7 p x =
+  if not (Inputs.pairwise_disjoint x) then
+    invalid_arg "Claims.claim7: strings must be pairwise disjoint";
+  finish "Claim 7" `Upper (quadratic_opt p x) (Quadratic_family.low_weight p)
+
+let pp ppf c =
+  Format.fprintf ppf "%s: opt=%d %s bound=%d [%s]" c.name c.opt
+    (match c.kind with `Lower -> ">=" | `Upper -> "<=")
+    c.bound
+    (if c.holds then "holds" else "VIOLATED")

@@ -1,0 +1,63 @@
+module Bitset = Stdx.Bitset
+module Graph = Wgraph.Graph
+
+type report = {
+  players : int;
+  local_opts : int array;
+  best_local : int;
+  global_opt : int;
+  ratio : float;
+  bits : int;
+}
+
+let region_sets (inst : Family.instance) =
+  let g = inst.Family.graph in
+  let t = inst.Family.params.Params.players in
+  let sets = Array.init t (fun _ -> Bitset.create (Graph.n g)) in
+  Array.iteri (fun v owner -> Bitset.add sets.(owner) v) inst.Family.partition;
+  sets
+
+let run (inst : Family.instance) =
+  let g = inst.Family.graph in
+  let t = inst.Family.params.Params.players in
+  let sets = region_sets inst in
+  let local_opts =
+    Array.map (fun s -> (Mis.Exact.solve_induced g s).Mis.Exact.weight) sets
+  in
+  let best_local = Array.fold_left max 0 local_opts in
+  let global_opt = Mis.Exact.opt g in
+  let value_width =
+    max 1 (Stdx.Mathx.ceil_log2 (Graph.total_weight g + 1))
+  in
+  {
+    players = t;
+    local_opts;
+    best_local;
+    global_opt;
+    ratio =
+      (if global_opt = 0 then 1.0
+       else float_of_int best_local /. float_of_int global_opt);
+    bits = t * value_width;
+  }
+
+let as_protocol (spec : Family.spec) =
+  {
+    Commcx.Protocol.name = "local-optima (1/t-approximation)";
+    run =
+      (fun x board ->
+        let inst = spec.Family.build x in
+        let g = inst.Family.graph in
+        let sets = region_sets inst in
+        let value_width =
+          max 1 (Stdx.Mathx.ceil_log2 (Graph.total_weight g + 1))
+        in
+        let best = ref 0 in
+        Array.iteri
+          (fun i s ->
+            let v = (Mis.Exact.solve_induced g s).Mis.Exact.weight in
+            Commcx.Blackboard.write board ~author:i ~bits:value_width
+              ~tag:"local-opt" v;
+            if v > !best then best := v)
+          sets;
+        !best >= spec.Family.predicate.Predicate.high);
+  }

@@ -1,0 +1,34 @@
+(** The "Limitations of the two-party framework" argument, executed.
+
+    The paper observes that [t] players can always get a (1/t)-approximate
+    MaxIS value with [O(t log n)] bits: each player computes the optimum of
+    its own region [G[Vⁱ]] locally and writes the value; the maximum of
+    the [t] values is at least [OPT/t] because the global optimum splits
+    among the regions.  This is precisely why the two-party framework
+    cannot defeat ratio 1/2 — and why going multi-party pushes the barrier
+    to 1/t.
+
+    This module runs that protocol on family instances and reports the
+    achieved ratio and cost; the benches confirm the 1/t floor is real
+    (the protocol's ratio never falls below 1/t) and cheap (bits are
+    logarithmic while the reduction needs nearly the whole string
+    length). *)
+
+type report = {
+  players : int;
+  local_opts : int array;  (** OPT(G[Vⁱ]) per player *)
+  best_local : int;
+  global_opt : int;
+  ratio : float;  (** best_local / global_opt — always ≥ 1/t *)
+  bits : int;  (** blackboard bits used (t values of ⌈log₂(W+1)⌉ bits) *)
+}
+
+val run : Family.instance -> report
+(** Solves each region and the full graph exactly. *)
+
+val as_protocol : Family.spec -> Commcx.Protocol.t
+(** The same idea packaged as a blackboard protocol deciding nothing about
+    disjointness — it only estimates OPT — but usable for cost accounting
+    within the [commcx] machinery: each player writes its local optimum.
+    The returned protocol's Boolean output is whether the best local value
+    already reaches the predicate's [high] threshold. *)

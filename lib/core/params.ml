@@ -1,0 +1,30 @@
+type t = { cp : Codes.Code_params.t; players : int }
+
+let make ~alpha ~ell ~players =
+  if players < 2 then invalid_arg "Params.make: need at least 2 players";
+  { cp = Codes.Code_params.make ~alpha ~ell; players }
+
+let figure_params ~players = make ~alpha:1 ~ell:2 ~players
+
+let for_epsilon_linear ~alpha ~ell ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 0.5 then
+    invalid_arg "Params.for_epsilon_linear: need 0 < epsilon < 1/2";
+  let players = max 2 (int_of_float (ceil (2.0 /. epsilon))) in
+  make ~alpha ~ell ~players
+
+let for_epsilon_quadratic ~alpha ~ell ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 0.25 then
+    invalid_arg "Params.for_epsilon_quadratic: need 0 < epsilon < 1/4";
+  let players = max 2 (int_of_float (ceil ((3.0 /. (4.0 *. epsilon)) -. 1.0))) in
+  make ~alpha ~ell ~players
+
+let k p = p.cp.Codes.Code_params.k
+let ell p = p.cp.Codes.Code_params.ell
+let alpha p = p.cp.Codes.Code_params.alpha
+let positions p = p.cp.Codes.Code_params.positions
+let q p = p.cp.Codes.Code_params.q
+
+let codeword p m = Codes.Code_params.codeword p.cp m
+
+let pp ppf p =
+  Format.fprintf ppf "%a, t=%d" Codes.Code_params.pp p.cp p.players

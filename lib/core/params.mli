@@ -1,0 +1,47 @@
+(** Instance parameters for the lower-bound families.
+
+    A parameter pack couples the code parameters [(α, ℓ, q, k)] of
+    Section 4.1 with the number of players [t].  The paper chooses
+    [t = ⌈2/ε⌉] for Theorem 1 and [t = ⌈3/(4ε) − 1⌉] for Theorem 2;
+    {!for_epsilon_linear} and {!for_epsilon_quadratic} reproduce those
+    choices. *)
+
+type t = {
+  cp : Codes.Code_params.t;
+  players : int;  (** the paper's [t]; at least 2 *)
+}
+
+val make : alpha:int -> ell:int -> players:int -> t
+(** Raises [Invalid_argument] when [players < 2] (or on bad code
+    parameters). *)
+
+val figure_params : players:int -> t
+(** The parameters of the paper's figures: [ℓ = 2], [α = 1], so [k = 3]
+    and the code alphabet is exactly [Σ = {1,2,3}]. *)
+
+val for_epsilon_linear : alpha:int -> ell:int -> epsilon:float -> t
+(** [t = ⌈2/ε⌉] (Lemma 2's choice).  Raises [Invalid_argument] unless
+    [0 < ε < 1/2]. *)
+
+val for_epsilon_quadratic : alpha:int -> ell:int -> epsilon:float -> t
+(** [t = max 2 ⌈3/(4ε) − 1⌉] (Lemma 3's choice).  Raises
+    [Invalid_argument] unless [0 < ε < 1/4]. *)
+
+(** {1 Accessors} *)
+
+val k : t -> int
+(** [(ℓ+α)^α] — clique size of each [Aⁱ] and the input-string length of the
+    linear construction. *)
+
+val ell : t -> int
+val alpha : t -> int
+val positions : t -> int
+(** [ℓ + α]. *)
+
+val q : t -> int
+(** Code-gadget clique size (smallest prime [≥ ℓ+α]). *)
+
+val codeword : t -> int -> int array
+(** [C(m)], symbols 0-based in [0, q). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = { name : string; high : int; low : int }
+
+let make ~name ~high ~low =
+  if low < 0 || low >= high then
+    invalid_arg
+      (Printf.sprintf "Predicate.make: need 0 <= low < high (got %d, %d)" low
+         high);
+  { name; high; low }
+
+let gamma p = float_of_int p.low /. float_of_int p.high
+
+type verdict = [ `High | `Low | `Gap_violation ]
+
+let classify p opt =
+  if opt >= p.high then `High
+  else if opt <= p.low then `Low
+  else `Gap_violation
+
+let decides_to p opt =
+  match classify p opt with
+  | `Low -> Some true
+  | `High -> Some false
+  | `Gap_violation -> None
+
+let pp ppf p =
+  Format.fprintf ppf "%s: OPT>=%d vs OPT<=%d (gamma=%.4f)" p.name p.high p.low
+    (gamma p)

@@ -1,0 +1,34 @@
+(** Gap predicates (Definition 6).
+
+    A γ-approximate MaxIS family needs a predicate [P] that distinguishes
+    graphs with maximum independent set of weight at least [β] ("high")
+    from graphs where it is at most [γ·β] ("low").  The gadget instances
+    always fall on one side or the other; anything strictly between would
+    witness a bug in the construction, so classification reports it as
+    [`Gap_violation]. *)
+
+type t = {
+  name : string;
+  high : int;  (** the [β] of Definition 6: intersecting ⇒ OPT ≥ high *)
+  low : int;  (** the [γ·β]: pairwise disjoint ⇒ OPT ≤ low *)
+}
+
+val make : name:string -> high:int -> low:int -> t
+(** Raises [Invalid_argument] unless [0 <= low < high]. *)
+
+val gamma : t -> float
+(** [low / high] — the approximation factor the family defeats: any
+    algorithm achieving a ratio strictly above [gamma] distinguishes the
+    two sides. *)
+
+type verdict = [ `High | `Low | `Gap_violation ]
+
+val classify : t -> int -> verdict
+(** Classify a measured OPT value. *)
+
+val decides_to : t -> int -> bool option
+(** Map a measured OPT to the Boolean the reduction outputs:
+    [`Low ↦ Some true] (pairwise disjoint), [`High ↦ Some false]
+    (uniquely intersecting), gap violation [↦ None]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+module Bitset = Stdx.Bitset
+
+type result = {
+  name : string;
+  holds : bool;
+  measured : int;
+  bound : int;
+  detail : string;
+}
+
+let property1 p ~m =
+  let g, _ = Linear_family.fixed p in
+  let set = Linear_family.property1_set p ~m in
+  let violations = Wgraph.Check.independence_violations g set in
+  {
+    name = Printf.sprintf "Property 1 (m=%d)" m;
+    holds = violations = [];
+    measured = List.length violations;
+    bound = 0;
+    detail =
+      (match violations with
+      | [] -> "independent"
+      | (u, v) :: _ ->
+          Printf.sprintf "%d adjacent pairs, e.g. (%d,%d)"
+            (List.length violations) u v);
+  }
+
+let property2 p ~i ~j ~m1 ~m2 =
+  if i = j then invalid_arg "Properties.property2: need i <> j";
+  if m1 = m2 then invalid_arg "Properties.property2: need m1 <> m2";
+  let g, _ = Linear_family.fixed p in
+  let left =
+    Base_graph.code_nodes p ~offset:(Linear_family.copy_offset p i) ~m:m1
+  in
+  let right =
+    Base_graph.code_nodes p ~offset:(Linear_family.copy_offset p j) ~m:m2
+  in
+  let matching = Wgraph.Matching.max_bipartite_matching g ~left ~right in
+  {
+    name = Printf.sprintf "Property 2 (i=%d,j=%d,m1=%d,m2=%d)" i j m1 m2;
+    holds = matching.Wgraph.Matching.size >= Params.ell p;
+    measured = matching.Wgraph.Matching.size;
+    bound = Params.ell p;
+    detail =
+      Printf.sprintf "max matching %d, ell=%d" matching.Wgraph.Matching.size
+        (Params.ell p);
+  }
+
+let property3 p ~i ~j ~m1 ~m2 ~set =
+  if i = j then invalid_arg "Properties.property3: need i <> j";
+  if m1 = m2 then invalid_arg "Properties.property3: need m1 <> m2";
+  let w1 = Params.codeword p m1 and w2 = Params.codeword p m2 in
+  let count = ref 0 in
+  for h = 0 to Params.positions p - 1 do
+    let u =
+      Base_graph.sigma_node p ~offset:(Linear_family.copy_offset p i) ~h
+        ~r:w1.(h)
+    and v =
+      Base_graph.sigma_node p ~offset:(Linear_family.copy_offset p j) ~h
+        ~r:w2.(h)
+    in
+    if Bitset.mem set u && Bitset.mem set v then incr count
+  done;
+  {
+    name = Printf.sprintf "Property 3 (i=%d,j=%d,m1=%d,m2=%d)" i j m1 m2;
+    holds = !count <= Params.alpha p;
+    measured = !count;
+    bound = Params.alpha p;
+    detail = Printf.sprintf "%d double positions, alpha=%d" !count (Params.alpha p);
+  }
+
+let check_all_property1 p =
+  List.init (Params.k p) (fun m -> property1 p ~m)
+
+let check_sampled_property2 rng p ~samples =
+  let t = p.Params.players and k = Params.k p in
+  if k < 2 then invalid_arg "Properties.check_sampled_property2: k < 2";
+  List.init samples (fun _ ->
+      let i = Stdx.Prng.int rng t in
+      let j = (i + 1 + Stdx.Prng.int rng (t - 1)) mod t in
+      let m1 = Stdx.Prng.int rng k in
+      let m2 = (m1 + 1 + Stdx.Prng.int rng (k - 1)) mod k in
+      property2 p ~i ~j ~m1 ~m2)

@@ -1,0 +1,42 @@
+(** Machine checks of Properties 1–3 of Section 4.1.
+
+    These are the structural facts about the fixed construction [G] that
+    the claim proofs lean on; each function returns a [result] that states
+    whether the property held and carries the measured quantity for test
+    messages and bench tables. *)
+
+type result = {
+  name : string;
+  holds : bool;
+  measured : int;  (** the quantity the property bounds (see each check) *)
+  bound : int;  (** the bound the property asserts *)
+  detail : string;
+}
+
+val property1 : Params.t -> m:int -> result
+(** Property 1: [(∪ᵢ Codeⁱ_m) ∪ {vⁱ_m}] is independent in the fixed
+    linear construction.  [measured] = number of adjacent pairs inside the
+    set (bound 0). *)
+
+val property2 : Params.t -> i:int -> j:int -> m1:int -> m2:int -> result
+(** Property 2: for [i ≠ j] and [m₁ ≠ m₂], the bipartite graph
+    [(Codeⁱ_{m₁}, Codeʲ_{m₂})] has a matching of size [≥ ℓ].
+    [measured] = maximum matching size (Hopcroft–Karp); [bound] = ℓ.
+    [holds] iff [measured >= bound].
+    Raises [Invalid_argument] when [i = j] or [m₁ = m₂]. *)
+
+val property3 :
+  Params.t -> i:int -> j:int -> m1:int -> m2:int -> set:Stdx.Bitset.t -> result
+(** Property 3: for any independent set [I], at most [α] positions [h]
+    have both [σⁱ_{(h,C(m₁)_h)} ∈ I] and [σʲ_{(h,C(m₂)_h)} ∈ I].
+    [measured] = number of such positions for the given set; [bound] = α.
+    (The caller supplies the independent set; checking independence is the
+    caller's business — tests feed exact solutions and random independent
+    sets.) *)
+
+val check_all_property1 : Params.t -> result list
+(** Property 1 for every [m ∈ [0, k)]. *)
+
+val check_sampled_property2 :
+  Stdx.Prng.t -> Params.t -> samples:int -> result list
+(** Random (i, j, m₁, m₂) tuples. *)

@@ -1,0 +1,37 @@
+type t = {
+  target_k : int;
+  params : Params.t;
+  realized_k : int;
+  k_ratio : float;
+  prime_padding : int;
+  linear_gap_valid : bool;
+  quadratic_gap_valid : bool;
+}
+
+let at ~target_k ~players =
+  let cp = Codes.Code_params.paper_regime ~k:target_k in
+  let params =
+    Params.make ~alpha:cp.Codes.Code_params.alpha ~ell:cp.Codes.Code_params.ell
+      ~players
+  in
+  let realized_k = Params.k params in
+  {
+    target_k;
+    params;
+    realized_k;
+    k_ratio = float_of_int realized_k /. float_of_int target_k;
+    prime_padding = Params.q params - Params.positions params;
+    linear_gap_valid = Linear_family.formal_gap_valid params;
+    quadratic_gap_valid = Quadratic_family.formal_gap_valid params;
+  }
+
+let nodes_linear r = Linear_family.n_nodes r.params
+
+let nodes_quadratic r = Quadratic_family.n_nodes r.params
+
+let pp ppf r =
+  Format.fprintf ppf
+    "regime(target k=%d -> %a, realized k=%d (x%.2f), padding=%d, gaps \
+     lin=%b quad=%b)"
+    r.target_k Params.pp r.params r.realized_k r.k_ratio r.prime_padding
+    r.linear_gap_valid r.quadratic_gap_valid

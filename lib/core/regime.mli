@@ -1,0 +1,29 @@
+(** The paper's asymptotic parameter regime, as a calculator.
+
+    Section 4.2.1 fixes [ℓ = log k − log k/log log k] and
+    [α = log k/log log k] so that [(ℓ+α)^α = k]; Theorems 1 and 2 then
+    take [k = Θ(n)] resp. [k² = Θ(n²)].  This module computes the concrete
+    (α, ℓ, t) the proofs would use at a target size, together with the
+    consistency diagnostics the benches report: how close the realized
+    [k = (ℓ+α)^α] lands to the target, the [q]-vs-[ℓ+α] prime-padding gap,
+    and whether the formal gaps separate at the chosen [t]. *)
+
+type t = {
+  target_k : int;
+  params : Params.t;  (** α, ℓ from the paper's formulas; the given [t] *)
+  realized_k : int;  (** [(ℓ+α)^α] — usually not exactly the target *)
+  k_ratio : float;  (** realized / target *)
+  prime_padding : int;  (** [q − (ℓ+α)] — 0 when ℓ+α is already prime *)
+  linear_gap_valid : bool;  (** [ℓ > αt] *)
+  quadratic_gap_valid : bool;
+}
+
+val at : target_k:int -> players:int -> t
+(** Raises [Invalid_argument] when [target_k < 2] or [players < 2]. *)
+
+val nodes_linear : t -> int
+(** [n] of the linear construction at these parameters. *)
+
+val nodes_quadratic : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+module Runtime = Congest.Runtime
+module Trace = Congest.Trace
+
+type report = {
+  algorithm : string;
+  n : int;
+  rounds : int;
+  cut_size : int;
+  bandwidth : int;
+  blackboard_bits : int;
+  blackboard_writes : int;
+  bound_bits : int;
+  within_bound : bool;
+  total_bits : int;
+}
+
+let simulate ?(config = Runtime.default_config) program (inst : Family.instance) =
+  let g = inst.Family.graph in
+  let result = Runtime.run ~config program g in
+  let n = Wgraph.Graph.n g in
+  let cut_size = Family.cut_size inst in
+  let bandwidth = Runtime.bandwidth_bits config ~n in
+  let blackboard_bits = Trace.cut_bits result.Runtime.trace inst.Family.partition in
+  let rounds = result.Runtime.rounds_executed in
+  (* Directed cut capacity: each undirected cut edge carries up to B bits in
+     each direction per round, matching the proof's O(T·|cut|·log n) with
+     the constant made explicit. *)
+  let bound_bits = rounds * (2 * cut_size) * bandwidth in
+  let report =
+    {
+      algorithm = program.Congest.Program.name;
+      n;
+      rounds;
+      cut_size;
+      bandwidth;
+      blackboard_bits;
+      blackboard_writes =
+        Trace.cut_messages result.Runtime.trace inst.Family.partition;
+      bound_bits;
+      within_bound = blackboard_bits <= bound_bits;
+      total_bits = Trace.total_bits result.Runtime.trace;
+    }
+  in
+  (result, report)
+
+type decision = {
+  report : report;
+  opt : int;
+  verdict : Predicate.verdict;
+  answer : bool option;
+}
+
+let decide_disjointness ?config (inst : Family.instance) ~predicate =
+  let g = inst.Family.graph in
+  let m = Wgraph.Graph.edge_count g in
+  let program = Congest.Algo_gather.exact_maxis ~m in
+  let result, report = simulate ?config program inst in
+  let opt =
+    match result.Runtime.outputs.(0) with
+    | Some v -> v
+    | None ->
+        invalid_arg
+          "Simulation.decide_disjointness: gathering did not complete \
+           (increase max_rounds)"
+  in
+  {
+    report;
+    opt;
+    verdict = Predicate.classify predicate opt;
+    answer = Predicate.decides_to predicate opt;
+  }

@@ -1,0 +1,51 @@
+(** The simulation argument of Theorem 5, executed.
+
+    Given a family instance [G_x̄] with its player partition and {e any}
+    CONGEST algorithm, the [t] players can jointly simulate the algorithm:
+    player [i] runs the nodes of [Vⁱ] locally, and every message crossing
+    the partition is written on the shared blackboard.  The transcript
+    therefore costs at most [T · |cut(G_x̄)| · B] bits, where [B] is the
+    per-edge-per-round bandwidth — that inequality {e is} Theorem 5, and
+    this module measures both sides on real runs.
+
+    [decide_disjointness] completes the reduction end to end: it runs the
+    universal exact-MaxIS algorithm ({!Congest.Algo_gather}), classifies
+    OPT with the gap predicate, and returns the promise-pairwise-
+    disjointness answer, together with the full bit accounting. *)
+
+type report = {
+  algorithm : string;
+  n : int;
+  rounds : int;
+  cut_size : int;
+  bandwidth : int;  (** per-edge per-round bit budget [B] *)
+  blackboard_bits : int;  (** measured bits crossing the partition *)
+  blackboard_writes : int;
+  bound_bits : int;  (** [rounds · cut_size · bandwidth] — Theorem 5's cap *)
+  within_bound : bool;
+  total_bits : int;  (** all traffic, crossing or not (for contrast) *)
+}
+
+val simulate :
+  ?config:Congest.Runtime.config ->
+  'out Congest.Program.t ->
+  Family.instance ->
+  'out Congest.Runtime.result * report
+(** Run any program on the instance's graph and meter the cut traffic. *)
+
+type decision = {
+  report : report;
+  opt : int;
+  verdict : Predicate.verdict;
+  answer : bool option;  (** the simulated players' output for [f(x̄)] *)
+}
+
+val decide_disjointness :
+  ?config:Congest.Runtime.config ->
+  Family.instance ->
+  predicate:Predicate.t ->
+  decision
+(** The full Theorem-5 pipeline on the universal algorithm.  The runtime
+    config's [max_rounds] must allow gathering to complete ([O(n + m)]
+    rounds); the default config usually suffices for test-sized
+    instances. *)

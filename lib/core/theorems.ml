@@ -1,0 +1,101 @@
+type report = {
+  theorem : string;
+  gamma_defeated : float;
+  k : int;
+  string_length : int;
+  t : int;
+  n : int;
+  cut : int;
+  cc_bits : float;
+  log_n : float;
+  rounds_lower_bound : float;
+  shape : float;
+}
+
+let log2 = Stdx.Mathx.log2
+
+let linear_shape ~n = n /. (log2 n ** 3.0)
+let quadratic_shape ~n = n *. n /. (log2 n ** 3.0)
+
+let build ~theorem ~gamma ~k ~string_length ~t ~n ~cut ~shape =
+  let cc_bits =
+    Commcx.Cc_bounds.eval_bits Commcx.Cc_bounds.promise_pairwise_disjointness
+      ~k:string_length ~t
+  in
+  let log_n = log2 (float_of_int (max 2 n)) in
+  {
+    theorem;
+    gamma_defeated = gamma;
+    k;
+    string_length;
+    t;
+    n;
+    cut;
+    cc_bits;
+    log_n;
+    (* Each undirected cut edge carries O(log n) bits per round in each
+       direction, hence the factor 2. *)
+    rounds_lower_bound = cc_bits /. (2.0 *. float_of_int cut *. log_n);
+    shape;
+  }
+
+let linear p =
+  let n = Linear_family.n_nodes p in
+  (* The closed form equals the measured cut on every instance (pinned by
+     the test suite); using it keeps the calculator O(1) even at parameter
+     points whose graphs would not fit in memory. *)
+  let cut = Linear_family.expected_cut_size p in
+  let t = p.Params.players in
+  build ~theorem:"Theorem 1 (linear)"
+    ~gamma:(0.5 +. (1.0 /. float_of_int t))
+    ~k:(Params.k p) ~string_length:(Params.k p) ~t ~n ~cut
+    ~shape:(linear_shape ~n:(float_of_int n))
+
+let quadratic p =
+  let n = Quadratic_family.n_nodes p in
+  let cut = Quadratic_family.expected_cut_size p in
+  let t = p.Params.players in
+  build ~theorem:"Theorem 2 (quadratic)"
+    ~gamma:(0.75 +. (1.0 /. float_of_int t))
+    ~k:(Params.k p)
+    ~string_length:(Quadratic_family.string_length p)
+    ~t ~n ~cut
+    ~shape:(quadratic_shape ~n:(float_of_int n))
+
+type epsilon_statement = {
+  epsilon : float;
+  players_used : int;
+  defeated_ratio : float;
+  rounds_at : n:float -> float;
+}
+
+let statement ~epsilon ~players_used ~base_ratio ~degree =
+  let t = float_of_int players_used in
+  let logt = Float.max 1.0 (log2 t) in
+  {
+    epsilon;
+    players_used;
+    defeated_ratio = base_ratio +. epsilon;
+    rounds_at =
+      (fun ~n -> (n ** float_of_int degree) /. (t *. logt *. (log2 n ** 3.0)));
+  }
+
+let theorem1_statement ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 0.5 then
+    invalid_arg "Theorems.theorem1_statement: need 0 < epsilon < 1/2";
+  let players_used = max 2 (int_of_float (ceil (2.0 /. epsilon))) in
+  statement ~epsilon ~players_used ~base_ratio:0.5 ~degree:1
+
+let theorem2_statement ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 0.25 then
+    invalid_arg "Theorems.theorem2_statement: need 0 < epsilon < 1/4";
+  let players_used =
+    max 2 (int_of_float (ceil ((3.0 /. (4.0 *. epsilon)) -. 1.0)))
+  in
+  statement ~epsilon ~players_used ~base_ratio:0.75 ~degree:2
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%s: k=%d strings=%d t=%d n=%d cut=%d cc=%.1f rounds>=%.2f (shape %.2f)"
+    r.theorem r.k r.string_length r.t r.n r.cut r.cc_bits r.rounds_lower_bound
+    r.shape

@@ -1,0 +1,66 @@
+(** The round lower bounds of Theorems 1 and 2, as computable reports.
+
+    Corollary 1 turns a γ-approximate MaxIS family into a round bound:
+
+    {[ rounds = Ω( CC_f(k', t) / (|cut| · log |V|) ) ]}
+
+    with [CC_f(k', t) = Ω(k'/(t log t))] by Theorem 3, where [k' = k] for
+    the linear family and [k' = k²] for the quadratic one.  The functions
+    here instantiate that with measured cut sizes and the constant-1
+    convention of {!Commcx.Cc_bounds}, so the tables in the benches show
+    exactly the paper's bound shapes [n/log³n] and [n²/log³n]. *)
+
+type report = {
+  theorem : string;
+  gamma_defeated : float;  (** approximation ratio the bound applies to *)
+  k : int;  (** base parameter (A-clique size) *)
+  string_length : int;  (** k or k² *)
+  t : int;
+  n : int;  (** nodes of the instance *)
+  cut : int;  (** measured [|cut(G_x̄)|] *)
+  cc_bits : float;  (** CC lower bound on the strings *)
+  log_n : float;
+  rounds_lower_bound : float;  (** cc / (2·cut·log n) *)
+  shape : float;  (** the paper's headline shape: n/log³n or n²/log³n *)
+}
+
+val linear : Params.t -> report
+(** Theorem 1's bound at these parameters.  The cut size uses the closed
+    form [C(t,2)·(ℓ+α)·q(q−1)], which the test suite pins equal to the
+    measured cut of the fixed construction. *)
+
+val quadratic : Params.t -> report
+(** Theorem 2's bound. *)
+
+(** {1 ε-level statements}
+
+    The theorems quantify over constant ε; these helpers package "for this
+    ε, with [t] players, any (ratio+ε)-approximation needs [rounds_at n]
+    rounds" — with the [t·log t] dependence of Theorem 3 kept explicit so
+    the ε-dependence of the constant is visible (the paper hides it in
+    Ω(·)). *)
+
+type epsilon_statement = {
+  epsilon : float;
+  players_used : int;  (** the [t] the proof picks for this ε *)
+  defeated_ratio : float;  (** (1/2+ε) or (3/4+ε) *)
+  rounds_at : n:float -> float;
+      (** [n ↦ n^d / (t·log t · log³ n)] with [d ∈ {1, 2}] — the bound with
+          the ε-dependent constant spelled out *)
+}
+
+val theorem1_statement : epsilon:float -> epsilon_statement
+(** [t = ⌈2/ε⌉] (Lemma 2's choice).  Raises [Invalid_argument] unless
+    [0 < ε < 1/2]. *)
+
+val theorem2_statement : epsilon:float -> epsilon_statement
+(** [t = max 2 ⌈3/(4ε) − 1⌉].  Raises [Invalid_argument] unless
+    [0 < ε < 1/4]. *)
+
+val linear_shape : n:float -> float
+(** [n / log₂³ n] — the asymptotic form of Theorem 1. *)
+
+val quadratic_shape : n:float -> float
+(** [n² / log₂³ n]. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,49 @@
+let params ~ell = Params.make ~alpha:1 ~ell ~players:2
+
+let predicate p =
+  if p.Params.players <> 2 then
+    invalid_arg "Two_party.predicate: need exactly two players";
+  Predicate.make
+    ~name:"two-party gap (Claims 1-2)"
+    ~high:((4 * Params.ell p) + (2 * Params.alpha p))
+    ~low:((3 * Params.ell p) + (2 * Params.alpha p) + 1)
+
+let spec p =
+  {
+    Family.name = "two-party warm-up (Lemma 1)";
+    string_length = Params.k p;
+    players = 2;
+    build = Linear_family.instance p;
+    predicate = predicate p;
+    func = Commcx.Functions.two_party_disjointness;
+  }
+
+type bound = {
+  k : int;
+  n : int;
+  cut : int;
+  cc_bits : float;
+  rounds_lower_bound : float;
+  gamma_defeated : float;
+}
+
+let round_bound p =
+  if p.Params.players <> 2 then
+    invalid_arg "Two_party.round_bound: need exactly two players";
+  let k = Params.k p in
+  let n = Linear_family.n_nodes p in
+  let cut = Linear_family.expected_cut_size p in
+  let cc_bits =
+    Commcx.Cc_bounds.eval_bits Commcx.Cc_bounds.two_party_disjointness ~k ~t:2
+  in
+  let log_n = Stdx.Mathx.log2 (float_of_int (max 2 n)) in
+  {
+    k;
+    n;
+    cut;
+    cc_bits;
+    rounds_lower_bound = cc_bits /. (2.0 *. float_of_int cut *. log_n);
+    gamma_defeated = 0.75;
+  }
+
+let barrier_ratio = 0.5

@@ -1,0 +1,43 @@
+(** The classic two-party ("Alice and Bob") framework the paper goes
+    beyond — instantiated with this paper's own t = 2 warm-up family.
+
+    For [t = 2] the promise machinery is unnecessary: {e every} pair of
+    strings is either intersecting or disjoint, so Lemma 1's family is a
+    family of lower bound graphs with respect to full two-party
+    set-disjointness, whose communication complexity is Ω(k) (no
+    [1/(t log t)] loss).  The resulting round bound has a better constant
+    but is stuck at the (3/4+ε) ratio — the framework's 1/2-approximation
+    barrier (Limitations section) is what the multi-party reduction
+    removes.  This module packages that baseline framework so the benches
+    can print the two frontiers side by side. *)
+
+val params : ell:int -> Params.t
+(** Two players, [α = 1] (the warm-up's regime); [ell >= 3] keeps the
+    Claim 1/2 gap formal ([3ℓ+2α+1 < 4ℓ+2α ⟺ ℓ > 1]). *)
+
+val spec : Params.t -> Family.spec
+(** Definition 4 package w.r.t. {e two-party set-disjointness} (not the
+    promise function) and the Claim 1/2 gap predicate
+    ([high = 4ℓ+2α], [low = 3ℓ+2α+1]).  Raises [Invalid_argument] unless
+    the parameters have exactly two players. *)
+
+val predicate : Params.t -> Predicate.t
+
+type bound = {
+  k : int;
+  n : int;
+  cut : int;
+  cc_bits : float;  (** Ω(k), constant 1 — two-party disjointness *)
+  rounds_lower_bound : float;
+  gamma_defeated : float;  (** 3/4 + ε *)
+}
+
+val round_bound : Params.t -> bound
+(** The two-party analogue of Corollary 1: [k / (2·|cut|·log n)] rounds for
+    (3/4+ε)-approximation — this repository's executable stand-in for the
+    Bachrach-et-al.-style two-party baseline (their construction is the
+    un-simplified ancestor of this one; see Section 1). *)
+
+val barrier_ratio : float
+(** 1/2 — the approximation ratio no two-party reduction can defeat
+    (Limitations section). *)

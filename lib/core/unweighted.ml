@@ -1,0 +1,78 @@
+module Bitset = Stdx.Bitset
+module Graph = Wgraph.Graph
+
+type t = {
+  graph : Graph.t;
+  partition : int array;
+  origin : int array;
+  clones : int array array;
+}
+
+let inflation g = Graph.total_weight g
+
+let transform g part =
+  let n = Graph.n g in
+  Wgraph.Cut.validate g part;
+  let total = inflation g in
+  let clones = Array.make n [||] in
+  let origin = Array.make total 0 in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    let w = Graph.weight g v in
+    if w = 0 then invalid_arg "Unweighted.transform: zero-weight node";
+    clones.(v) <-
+      Array.init w (fun _ ->
+          let id = !next in
+          incr next;
+          origin.(id) <- v;
+          id)
+  done;
+  let h = Graph.create total in
+  Graph.iter_edges
+    (fun u v ->
+      (* Remark 1: unit–unit edges persist; a unit node joins all clones of
+         a heavy neighbor; two heavy neighbors get the full biclique.  All
+         three cases are "connect every clone of u to every clone of v"
+         since unit nodes have a single clone. *)
+      Array.iter
+        (fun cu -> Array.iter (fun cv -> Graph.add_edge h cu cv) clones.(v))
+        clones.(u))
+    g;
+  for v = 0 to n - 1 do
+    Array.iteri
+      (fun idx c ->
+        Graph.set_label h c (Printf.sprintf "%s[%d]" (Graph.label g v) idx))
+      clones.(v)
+  done;
+  let partition = Array.map (fun c -> part.(origin.(c))) (Array.init total Fun.id) in
+  { graph = h; partition; origin; clones }
+
+let transform_instance (inst : Family.instance) =
+  transform inst.Family.graph inst.Family.partition
+
+let lift_set t s =
+  let lifted = Bitset.create (Graph.n t.graph) in
+  Bitset.iter
+    (fun v -> Array.iter (fun c -> Bitset.add lifted c) t.clones.(v))
+    s;
+  lifted
+
+let spec_linear p =
+  let base = Linear_family.spec p in
+  {
+    base with
+    Family.name = "unweighted linear (Remark 1)";
+    build =
+      (fun x ->
+        let t = transform_instance (Linear_family.instance p x) in
+        { Family.graph = t.graph; partition = t.partition; params = p });
+  }
+
+let project_set t s =
+  let n = Array.length t.clones in
+  let projected = Bitset.create n in
+  for v = 0 to n - 1 do
+    if Array.for_all (fun c -> Bitset.mem s c) t.clones.(v) then
+      Bitset.add projected v
+  done;
+  projected

@@ -1,0 +1,47 @@
+(** Remark 1: the unweighted transformation.
+
+    The hard instances are weighted; Remark 1 converts them to unweighted
+    graphs at the cost of a logarithmic factor in the round bound.  Every
+    node of weight [w > 1] is replaced by an independent set [I(v)] of [w]
+    unit-weight nodes; a unit neighbor [u] of [v] connects to all of
+    [I(v)], and two heavy neighbors are joined by the complete bipartite
+    graph [I(u) × I(v)].
+
+    Because [I(v)] is internally edgeless and its members have identical
+    closed neighborhoods outside, an optimal independent set takes all of
+    [I(v)] or none of it — so OPT is preserved exactly, node for node, and
+    the same gap predicate applies to the transformed instance. *)
+
+type t = {
+  graph : Wgraph.Graph.t;  (** all weights 1 *)
+  partition : int array;  (** blown-up nodes inherit their owner *)
+  origin : int array;  (** new node ↦ original node *)
+  clones : int array array;  (** original node ↦ its I(v) (new nodes) *)
+}
+
+val transform : Wgraph.Graph.t -> int array -> t
+(** [transform g part]: blow up [g] (with node partition [part]) as in
+    Remark 1.  Raises [Invalid_argument] when a node has weight 0. *)
+
+val transform_instance : Family.instance -> t
+
+val lift_set : t -> Stdx.Bitset.t -> Stdx.Bitset.t
+(** Map an independent set of the original graph to the transformed graph
+    (each chosen node replaced by its full clone set); preserves
+    independence and weight. *)
+
+val project_set : t -> Stdx.Bitset.t -> Stdx.Bitset.t
+(** Map a set of transformed nodes back to the original nodes whose clone
+    sets are {e fully} contained. *)
+
+val inflation : Wgraph.Graph.t -> int
+(** Number of nodes after the transform: [Σ_v w(v)] — [Θ(kℓ)] on the hard
+    instances, whence Remark 1's lost log factor. *)
+
+val spec_linear : Params.t -> Family.spec
+(** The unweighted linear family as a first-class Definition-4 package:
+    [build] composes {!Linear_family.instance} with {!transform_instance},
+    the predicate is unchanged (OPT is preserved exactly), and the
+    partition is inherited — so the whole reduction pipeline (conditions,
+    simulation, bounds) runs on unweighted instances too.  Raises like
+    {!Linear_family.predicate} when the formal gap is invalid. *)

@@ -1,0 +1,159 @@
+module Inputs = Commcx.Inputs
+module Prng = Stdx.Prng
+
+type item = { name : string; ok : bool; detail : string }
+
+let item name ok detail = { name; ok; detail }
+
+let of_property (r : Properties.result) =
+  item r.Properties.name r.Properties.holds r.Properties.detail
+
+let of_claim (c : Claims.check) =
+  item c.Claims.name c.Claims.holds
+    (Printf.sprintf "opt=%d %s bound=%d" c.Claims.opt
+       (match c.Claims.kind with `Lower -> ">=" | `Upper -> "<=")
+       c.Claims.bound)
+
+let code_check p =
+  match Codes.Code_mapping.verify p.Params.cp.Codes.Code_params.code with
+  | Ok () -> item "code distance (Theorem 4)" true "all pairs verified"
+  | Error e -> item "code distance (Theorem 4)" false e
+
+let property_checks rng p ~samples =
+  let p1 = List.map of_property (Properties.check_all_property1 p) in
+  let p2 =
+    List.map of_property (Properties.check_sampled_property2 rng p ~samples)
+  in
+  (* Property 3 on an exact optimum of a random instance. *)
+  let p3 =
+    if Params.k p < 2 then []
+    else begin
+      let x =
+        Inputs.gen_promise rng ~k:(Params.k p) ~t:p.Params.players
+          ~intersecting:false
+      in
+      let sol = Mis.Exact.solve (Linear_family.instance p x).Family.graph in
+      let t = p.Params.players in
+      let i = Prng.int rng t in
+      let j = (i + 1 + Prng.int rng (t - 1)) mod t in
+      let m1 = Prng.int rng (Params.k p) in
+      let m2 = (m1 + 1 + Prng.int rng (Params.k p - 1)) mod Params.k p in
+      [ of_property (Properties.property3 p ~i ~j ~m1 ~m2 ~set:sol.Mis.Exact.set) ]
+    end
+  in
+  p1 @ p2 @ p3
+
+let claim_checks rng p ~samples =
+  let t = p.Params.players in
+  let k = Params.k p in
+  let one i =
+    let xi = Inputs.gen_promise rng ~k ~t ~intersecting:true in
+    let xd = Inputs.gen_promise rng ~k ~t ~intersecting:false in
+    let base = [ of_claim (Claims.claim3 p xi); of_claim (Claims.claim5 p xd) ] in
+    let warmup =
+      if t = 2 then
+        [ of_claim (Claims.claim1 p xi); of_claim (Claims.claim2 p xd) ]
+      else []
+    in
+    let tuples =
+      if k >= t then
+        let ms = Array.of_list (Prng.sample_without_replacement rng k t) in
+        [ of_claim (Claims.claim4 p ~ms); of_claim (Claims.corollary2 p ~ms) ]
+      else []
+    in
+    ignore i;
+    base @ warmup @ tuples
+  in
+  List.concat_map one (List.init samples Fun.id)
+
+let condition_checks rng p =
+  let spec = Linear_family.spec p in
+  let k = Params.k p in
+  let t = p.Params.players in
+  (* Condition 1: flip one bit of one player's string. *)
+  let x = Inputs.gen_promise rng ~k ~t ~intersecting:true in
+  let player = Prng.int rng t in
+  let strings =
+    List.init t (fun i -> Stdx.Bitset.copy (Inputs.string_of_player x i))
+  in
+  let s = List.nth strings player in
+  let bit = Prng.int rng k in
+  if Stdx.Bitset.mem s bit then Stdx.Bitset.remove s bit
+  else Stdx.Bitset.add s bit;
+  let x' = Inputs.make ~k strings in
+  let r1 = Family.check_condition1 spec x x' ~player in
+  let c1 =
+    item "Definition 4, condition 1" r1.Family.ok
+      (Printf.sprintf "varied player %d: %d foreign weight diffs, %d foreign edge diffs"
+         (player + 1)
+         (List.length r1.Family.foreign_weight_diffs)
+         (List.length r1.Family.foreign_edge_diffs))
+  in
+  (* Condition 2 on both sides. *)
+  let c2 =
+    List.map
+      (fun intersecting ->
+        let x = Inputs.gen_promise rng ~k ~t ~intersecting in
+        let r = Family.check_condition2 spec x in
+        item
+          (Printf.sprintf "Definition 4, condition 2 (intersecting=%b)" intersecting)
+          r.Family.ok
+          (Printf.sprintf "OPT=%d expected f=%b decided=%s" r.Family.opt
+             r.Family.expected
+             (match r.Family.decided with
+             | Some b -> string_of_bool b
+             | None -> "gap violation")))
+      [ true; false ]
+  in
+  c1 :: c2
+
+let reduction_checks rng p =
+  let spec = Linear_family.spec p in
+  let x =
+    Inputs.gen_promise rng ~k:(Params.k p) ~t:p.Params.players
+      ~intersecting:(Prng.bool rng)
+  in
+  let inst = spec.Family.build x in
+  let truth = Commcx.Functions.promise_pairwise_disjointness x in
+  let d = Simulation.decide_disjointness inst ~predicate:spec.Family.predicate in
+  let answer, outcome =
+    Player_sim.decide_disjointness inst ~predicate:spec.Family.predicate
+  in
+  [
+    item "Theorem 5: trace-metered reduction"
+      (d.Simulation.answer = Some truth
+      && d.Simulation.report.Simulation.within_bound)
+      (Printf.sprintf "OPT=%d, %d blackboard bits <= %d" d.Simulation.opt
+         d.Simulation.report.Simulation.blackboard_bits
+         d.Simulation.report.Simulation.bound_bits);
+    item "Theorem 5: player protocol agrees"
+      (answer = Some truth
+      && Commcx.Blackboard.bits_written outcome.Player_sim.board
+         = d.Simulation.report.Simulation.blackboard_bits)
+      (Printf.sprintf "protocol transcript %d bits"
+         (Commcx.Blackboard.bits_written outcome.Player_sim.board));
+  ]
+
+let run ?(seed = 0xa0d17) ?(samples = 4) p =
+  let rng = Prng.create seed in
+  List.concat
+    [
+      [ code_check p ];
+      property_checks rng p ~samples;
+      claim_checks rng p ~samples;
+      (if Linear_family.formal_gap_valid p then
+         condition_checks rng p @ reduction_checks rng p
+       else
+         [
+           item "Definition 4, conditions + reduction" true
+             (Printf.sprintf
+                "skipped: formal gap needs ell > alpha*t (ell=%d, alpha*t=%d)"
+                (Params.ell p)
+                (Params.alpha p * p.Params.players));
+         ]);
+    ]
+
+let all_ok items = List.for_all (fun i -> i.ok) items
+
+let pp_item ppf i =
+  Format.fprintf ppf "%-45s %s  %s" i.name (if i.ok then "ok" else "FAIL") i.detail

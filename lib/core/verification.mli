@@ -1,0 +1,26 @@
+(** One-call verification: audit everything the paper asserts at a given
+    parameter point.
+
+    This is the library behind [maxis_lb verify]: it runs the code-distance
+    check (Theorem 4), Properties 1–3, the claims on sampled promise inputs
+    from both promise sides, Corollary 2 / Claim 4 on random index tuples,
+    both Definition-4 conditions (condition 1 differentially), and — when
+    the formal gap separates — the full Theorem-5 reduction through both
+    simulator implementations, cross-checked against each other.
+
+    Every check is returned as an [item]; the list is the audit trail. *)
+
+type item = {
+  name : string;
+  ok : bool;
+  detail : string;  (** human-readable evidence, e.g. measured vs bound *)
+}
+
+val run : ?seed:int -> ?samples:int -> Params.t -> item list
+(** [run p] audits the linear family at [p] ([samples] controls the
+    randomized checks; default 4).  Raises nothing: failures are reported
+    as [ok = false] items. *)
+
+val all_ok : item list -> bool
+
+val pp_item : Format.formatter -> item -> unit

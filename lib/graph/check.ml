@@ -1,0 +1,48 @@
+module Bitset = Stdx.Bitset
+
+let independence_violations g s =
+  let acc = ref [] in
+  Bitset.iter
+    (fun u ->
+      Bitset.iter
+        (fun v -> if u < v && Graph.has_edge g u v then acc := (u, v) :: !acc)
+        s)
+    s;
+  List.rev !acc
+
+let is_independent g s =
+  (* Word-parallel: s is independent iff no member's neighborhood meets s. *)
+  Bitset.for_all (fun u -> Bitset.disjoint (Graph.neighbors g u) s) s
+
+let is_clique g s =
+  Bitset.for_all
+    (fun u ->
+      let missing = Bitset.diff s (Graph.neighbors g u) in
+      Bitset.remove missing u;
+      Bitset.is_empty missing)
+    s
+
+let is_maximal_independent g s =
+  is_independent g s
+  &&
+  let n = Graph.n g in
+  let can_extend = ref false in
+  for v = 0 to n - 1 do
+    if (not (Bitset.mem s v)) && Bitset.disjoint (Graph.neighbors g v) s then
+      can_extend := true
+  done;
+  not !can_extend
+
+let is_vertex_cover g s =
+  let ok = ref true in
+  Graph.iter_edges (fun u v -> if (not (Bitset.mem s u)) && not (Bitset.mem s v) then ok := false) g;
+  !ok
+
+let dominates g s =
+  let n = Graph.n g in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if (not (Bitset.mem s v)) && Bitset.disjoint (Graph.neighbors g v) s then
+      ok := false
+  done;
+  !ok

@@ -1,0 +1,24 @@
+(** Structural predicates on node sets.
+
+    These are the verification primitives behind the paper's case analyses:
+    Property 1 asserts a particular set is independent, the claims bound the
+    weight of independent sets, and the family conditions require certain
+    regions to be cliques. *)
+
+val is_independent : Graph.t -> Stdx.Bitset.t -> bool
+(** No two members adjacent. *)
+
+val independence_violations : Graph.t -> Stdx.Bitset.t -> (int * int) list
+(** All adjacent pairs inside the set — empty iff independent.  Useful in
+    test failure messages. *)
+
+val is_clique : Graph.t -> Stdx.Bitset.t -> bool
+(** Every two distinct members adjacent. *)
+
+val is_maximal_independent : Graph.t -> Stdx.Bitset.t -> bool
+(** Independent, and no node outside can be added. *)
+
+val is_vertex_cover : Graph.t -> Stdx.Bitset.t -> bool
+
+val dominates : Graph.t -> Stdx.Bitset.t -> bool
+(** Every node is in the set or adjacent to it. *)

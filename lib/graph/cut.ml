@@ -1,0 +1,35 @@
+let validate g part =
+  if Array.length part <> Graph.n g then
+    invalid_arg "Cut: partition length differs from node count";
+  Array.iter (fun p -> if p < 0 then invalid_arg "Cut: negative part index") part
+
+let edges g part =
+  validate g part;
+  let acc = ref [] in
+  Graph.iter_edges
+    (fun u v -> if part.(u) <> part.(v) then acc := (u, v) :: !acc)
+    g;
+  List.rev !acc
+
+let size g part =
+  validate g part;
+  let c = ref 0 in
+  Graph.iter_edges (fun u v -> if part.(u) <> part.(v) then incr c) g;
+  !c
+
+let parts part = Array.fold_left (fun acc p -> max acc (p + 1)) 0 part
+
+let part_nodes part i =
+  let acc = ref [] in
+  for v = Array.length part - 1 downto 0 do
+    if part.(v) = i then acc := v :: !acc
+  done;
+  !acc
+
+let part_sizes part =
+  let k = parts part in
+  let sizes = Array.make k 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) part;
+  sizes
+
+let is_internal part u v = part.(u) = part.(v)

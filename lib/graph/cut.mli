@@ -1,0 +1,31 @@
+(** Cut edges with respect to a node partition.
+
+    Definition 4 partitions [V = ∪ᵢ Vⁱ] among the [t] players;
+    [cut(G_x̄) = E_x̄ \ ∪ᵢ (Vⁱ × Vⁱ)] is the set of edges crossing the
+    partition, and the round lower bound of Theorem 5 divides by
+    [|cut(G_x̄)|].  A partition is an array mapping each node to its part
+    (player) index. *)
+
+val edges : Graph.t -> int array -> (int * int) list
+(** All cut edges ([u < v]).  Raises [Invalid_argument] when the partition
+    array length differs from [Graph.n]. *)
+
+val size : Graph.t -> int array -> int
+(** [size g part = List.length (edges g part)], computed without building
+    the list. *)
+
+val parts : int array -> int
+(** Number of parts, i.e. [1 + max part index] ([0] for an empty array). *)
+
+val part_nodes : int array -> int -> int list
+(** Nodes assigned to a given part, ascending. *)
+
+val part_sizes : int array -> int array
+(** [part_sizes part] has the cardinality of each part. *)
+
+val is_internal : int array -> int -> int -> bool
+(** Do both endpoints live in the same part? *)
+
+val validate : Graph.t -> int array -> unit
+(** Raises [Invalid_argument] unless the array has length [n] and part
+    indices are non-negative. *)

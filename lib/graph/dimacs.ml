@@ -1,0 +1,91 @@
+let to_string ?comment ?partition g =
+  let buf = Buffer.create 4096 in
+  (match comment with
+  | Some c ->
+      String.split_on_char '\n' c
+      |> List.iter (fun line -> Buffer.add_string buf ("c " ^ line ^ "\n"))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "p edge %d %d\n" (Graph.n g) (Graph.edge_count g));
+  (match partition with
+  | Some part ->
+      Array.iteri
+        (fun v p ->
+          Buffer.add_string buf (Printf.sprintf "c partition %d %d\n" (v + 1) p))
+        part
+  | None -> ());
+  for v = 0 to Graph.n g - 1 do
+    if Graph.weight g v <> 1 then
+      Buffer.add_string buf (Printf.sprintf "n %d %d\n" (v + 1) (Graph.weight g v))
+  done;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" (u + 1) (v + 1)))
+    g;
+  Buffer.contents buf
+
+let write_file path ?comment ?partition g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?comment ?partition g))
+
+let parse text =
+  let graph = ref None in
+  let partition : (int * int) list ref = ref [] in
+  let fail lineno msg = failwith (Printf.sprintf "Dimacs.parse: line %d: %s" lineno msg) in
+  let get lineno =
+    match !graph with
+    | Some g -> g
+    | None -> fail lineno "edge/node line before the p line"
+  in
+  let words line =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  let int_of lineno s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> fail lineno (Printf.sprintf "expected an integer, got %S" s)
+  in
+  String.split_on_char '\n' text
+  |> List.iteri (fun idx line ->
+         let lineno = idx + 1 in
+         match words line with
+         | [] -> ()
+         | "c" :: rest -> (
+             match rest with
+             | [ "partition"; v; p ] ->
+                 partition := (int_of lineno v - 1, int_of lineno p) :: !partition
+             | _ -> ())
+         | [ "p"; "edge"; n; _m ] ->
+             if !graph <> None then fail lineno "duplicate p line";
+             graph := Some (Graph.create (int_of lineno n))
+         | [ "n"; v; w ] ->
+             Graph.set_weight (get lineno) (int_of lineno v - 1) (int_of lineno w)
+         | [ "e"; u; v ] ->
+             Graph.add_edge (get lineno) (int_of lineno u - 1) (int_of lineno v - 1)
+         | w :: _ -> fail lineno (Printf.sprintf "unknown record %S" w));
+  match !graph with
+  | None -> failwith "Dimacs.parse: no p line"
+  | Some g ->
+      let part =
+        match !partition with
+        | [] -> None
+        | entries ->
+            let arr = Array.make (Graph.n g) 0 in
+            List.iter
+              (fun (v, p) ->
+                if v < 0 || v >= Graph.n g then
+                  failwith "Dimacs.parse: partition node out of range";
+                arr.(v) <- p)
+              entries;
+            Some arr
+      in
+      (g, part)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse (really_input_string ic len))

@@ -1,0 +1,27 @@
+(** DIMACS-style serialization of weighted graphs.
+
+    The standard exchange format for independent-set/clique benchmarks:
+    downstream users can export the paper's hard instances and feed them
+    to any off-the-shelf MaxIS/MWIS solver.  We write the classic
+    undirected format
+
+    {v
+    c <comment lines>
+    p edge <n> <m>
+    n <node-1-based> <weight>      (one per node with weight <> 1)
+    e <u-1-based> <v-1-based>      (one per edge)
+    v}
+
+    plus optional [c partition <node> <part>] comment lines carrying the
+    player partition, which {!parse} recovers. *)
+
+val to_string : ?comment:string -> ?partition:int array -> Graph.t -> string
+
+val write_file : string -> ?comment:string -> ?partition:int array -> Graph.t -> unit
+
+val parse : string -> Graph.t * int array option
+(** Inverse of {!to_string}.  Raises [Failure] with a line-numbered message
+    on malformed input.  Unknown comment lines are ignored; node weights
+    default to 1. *)
+
+val read_file : string -> Graph.t * int array option

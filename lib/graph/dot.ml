@@ -1,0 +1,68 @@
+module Bitset = Stdx.Bitset
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?(name = "G") ?partition ?highlight g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  node [shape=circle, fontsize=10];\n";
+  let emit_node v =
+    let fill =
+      match highlight with
+      | Some h when Bitset.mem h v -> ", style=filled, fillcolor=lightblue"
+      | _ -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [label=\"%s\\nw=%d\"%s];\n" v
+         (escape (Graph.label g v))
+         (Graph.weight g v) fill)
+  in
+  (match partition with
+  | None -> Graph.iter_nodes emit_node g
+  | Some part ->
+      let nparts = Cut.parts part in
+      for p = 0 to nparts - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "  subgraph cluster_%d {\n    label=\"V^%d\";\n" p
+             (p + 1));
+        List.iter
+          (fun v ->
+            Buffer.add_string buf "  ";
+            emit_node v)
+          (Cut.part_nodes part p);
+        Buffer.add_string buf "  }\n"
+      done);
+  Graph.iter_edges
+    (fun u v ->
+      let style =
+        match partition with
+        | Some part when part.(u) <> part.(v) -> " [style=dashed, color=red]"
+        | _ -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" u v style))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let ascii_summary g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "n=%d m=%d total_weight=%d max_degree=%d diameter=%d\n"
+       (Graph.n g) (Graph.edge_count g) (Graph.total_weight g)
+       (Graph.max_degree g) (Metrics.diameter g));
+  Buffer.add_string buf "degree histogram:";
+  List.iter
+    (fun (d, c) -> Buffer.add_string buf (Printf.sprintf " %d:%d" d c))
+    (Metrics.degree_histogram g);
+  Buffer.add_string buf "\n";
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Export to Graphviz DOT and compact ASCII, for regenerating the paper's
+    figures.
+
+    Figures 1–6 of the paper are drawings of small gadget instances
+    (ℓ = 2, α = 1, k = 3).  [bench/main.exe] and [bin/maxis_lb.exe figure]
+    emit these graphs in DOT so they can be rendered and compared against
+    the paper, plus a census (node/edge counts per region) that is checked
+    in the test suite. *)
+
+val to_dot :
+  ?name:string ->
+  ?partition:int array ->
+  ?highlight:Stdx.Bitset.t ->
+  Graph.t ->
+  string
+(** DOT source.  When [partition] is given, parts become clusters; when
+    [highlight] is given, those nodes are drawn filled (used to show the
+    independent sets of Figure 3). *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)
+
+val ascii_summary : Graph.t -> string
+(** A textual census: n, m, weight, degree histogram — stable across runs,
+    suitable for golden tests. *)

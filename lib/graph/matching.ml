@@ -1,0 +1,94 @@
+(* Hopcroft–Karp maximum bipartite matching.  Left/right nodes are given as
+   arrays of graph node ids; internally we work with their indices in those
+   arrays.  Standard BFS-layering + DFS-augmenting implementation. *)
+
+type result = { size : int; pairs : (int * int) list }
+
+let infinity_dist = max_int
+
+let max_bipartite_matching g ~left ~right =
+  let nl = Array.length left and nr = Array.length right in
+  let right_index = Hashtbl.create (2 * nr) in
+  Array.iteri (fun j v -> Hashtbl.replace right_index v j) right;
+  (* adjacency from left index to right indices *)
+  let adj =
+    Array.map
+      (fun u ->
+        let nbrs = Graph.neighbors g u in
+        let acc = ref [] in
+        Stdx.Bitset.iter
+          (fun v ->
+            match Hashtbl.find_opt right_index v with
+            | Some j -> acc := j :: !acc
+            | None -> ())
+          nbrs;
+        Array.of_list (List.rev !acc))
+      left
+  in
+  let match_l = Array.make nl (-1) in
+  let match_r = Array.make nr (-1) in
+  let dist = Array.make nl 0 in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    let found_free = ref false in
+    for u = 0 to nl - 1 do
+      if match_l.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- infinity_dist
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun j ->
+          let u' = match_r.(j) in
+          if u' = -1 then found_free := true
+          else if dist.(u') = infinity_dist then begin
+            dist.(u') <- dist.(u) + 1;
+            Queue.add u' queue
+          end)
+        adj.(u)
+    done;
+    !found_free
+  in
+  let rec dfs u =
+    let rec try_edges i =
+      if i >= Array.length adj.(u) then begin
+        dist.(u) <- infinity_dist;
+        false
+      end
+      else
+        let j = adj.(u).(i) in
+        let u' = match_r.(j) in
+        if u' = -1 || (dist.(u') = dist.(u) + 1 && dfs u') then begin
+          match_l.(u) <- j;
+          match_r.(j) <- u;
+          true
+        end
+        else try_edges (i + 1)
+    in
+    try_edges 0
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to nl - 1 do
+      if match_l.(u) = -1 && dfs u then incr size
+    done
+  done;
+  let pairs = ref [] in
+  for u = nl - 1 downto 0 do
+    if match_l.(u) >= 0 then pairs := (left.(u), right.(match_l.(u))) :: !pairs
+  done;
+  { size = !size; pairs = !pairs }
+
+let is_matching g pairs =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun (u, v) ->
+      let fresh = (not (Hashtbl.mem seen u)) && not (Hashtbl.mem seen v) in
+      Hashtbl.replace seen u ();
+      Hashtbl.replace seen v ();
+      fresh && Graph.has_edge g u v)
+    pairs

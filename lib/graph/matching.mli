@@ -1,0 +1,20 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    Property 2 of the paper states that for distinct codewords [m₁ ≠ m₂] the
+    bipartite graph [(Codeⁱ_{m₁}, Codeʲ_{m₂})] contains a matching of size
+    at least [ℓ].  We verify it by computing the {e maximum} matching of
+    that bipartite subgraph. *)
+
+type result = {
+  size : int;  (** cardinality of the maximum matching *)
+  pairs : (int * int) list;  (** matched (left, right) node pairs *)
+}
+
+val max_bipartite_matching : Graph.t -> left:int array -> right:int array -> result
+(** Maximum matching of the bipartite graph whose edges are the edges of
+    [g] between [left] and [right] nodes.  [left] and [right] must be
+    disjoint; edges inside either side are ignored.  Runs Hopcroft–Karp in
+    [O(E·√V)]. *)
+
+val is_matching : Graph.t -> (int * int) list -> bool
+(** The pairs are vertex-disjoint edges of [g]. *)

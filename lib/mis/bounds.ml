@@ -1,0 +1,45 @@
+module Bitset = Stdx.Bitset
+module Graph = Wgraph.Graph
+
+let clique_cover_upper g =
+  let n = Graph.n g in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b -> compare (Graph.weight g b) (Graph.weight g a))
+    order;
+  let classes : Bitset.t list ref = ref [] in
+  let bound = ref 0 in
+  Array.iter
+    (fun v ->
+      let nbrs = Graph.neighbors g v in
+      let rec place = function
+        | [] ->
+            let c = Bitset.create n in
+            Bitset.add c v;
+            classes := c :: !classes;
+            (* v opens the class, so it is the max (descending order). *)
+            bound := !bound + Graph.weight g v
+        | c :: rest ->
+            if Bitset.subset c nbrs then Bitset.add c v else place rest
+      in
+      place !classes)
+    order;
+  !bound
+
+let caro_wei_lower g =
+  let acc = ref 0.0 in
+  Graph.iter_nodes
+    (fun v ->
+      acc :=
+        !acc
+        +. (float_of_int (Graph.weight g v)
+           /. float_of_int (Graph.degree g v + 1)))
+    g;
+  !acc
+
+let greedy_lower g =
+  List.fold_left
+    (fun acc h -> max acc (fst (Greedy.run h g)))
+    0 Greedy.all
+
+let sandwich g = (caro_wei_lower g, greedy_lower g, clique_cover_upper g)

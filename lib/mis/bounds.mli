@@ -1,0 +1,19 @@
+(** Upper and lower bounds on the maximum-weight independent set value.
+
+    These sandwich [OPT] cheaply; the test suite asserts
+    [caro_wei <= greedy <= OPT <= clique_cover] on every instance it
+    touches, which catches bugs in any of the four computations. *)
+
+val clique_cover_upper : Wgraph.Graph.t -> int
+(** Greedy clique partition; the sum of per-clique maximum weights is an
+    upper bound on OPT. *)
+
+val caro_wei_lower : Wgraph.Graph.t -> float
+(** [Σ_v w(v)/(deg(v)+1)] — always at most OPT (probabilistic argument;
+    the bound is fractional). *)
+
+val greedy_lower : Wgraph.Graph.t -> int
+(** Best of the {!Greedy.all} heuristics — a constructive lower bound. *)
+
+val sandwich : Wgraph.Graph.t -> float * int * int
+(** [(caro_wei, greedy, clique_cover)]. *)

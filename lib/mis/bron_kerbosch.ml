@@ -1,0 +1,61 @@
+module Bitset = Stdx.Bitset
+module Graph = Wgraph.Graph
+
+(* Max-weight clique in the complement H of g.  Bron-Kerbosch over
+   (R, P, X) with a pivot chosen to minimize branching, plus the standard
+   weight bound: prune when w(R) + w(P) cannot beat the incumbent.
+   Adjacency of H is materialized once as bitset rows. *)
+
+let solve g =
+  let n = Graph.n g in
+  if n > Exact.max_nodes then
+    invalid_arg "Mis.Bron_kerbosch.solve: too many nodes";
+  let comp_adj =
+    Array.init n (fun v ->
+        let row = Bitset.complement (Graph.neighbors g v) in
+        Bitset.remove row v;
+        row)
+  in
+  let weight = Array.init n (fun v -> Graph.weight g v) in
+  let best_w = ref 0 in
+  let best_set = ref (Bitset.create n) in
+  let current = Bitset.create n in
+  let set_weight s = Bitset.fold (fun v acc -> acc + weight.(v)) s 0 in
+  let rec expand r_weight p x =
+    if Bitset.is_empty p && Bitset.is_empty x then begin
+      if r_weight > !best_w then begin
+        best_w := r_weight;
+        best_set := Bitset.copy current
+      end
+    end
+    else if r_weight + set_weight p > !best_w then begin
+      (* Pivot: the vertex of P ∪ X with most neighbors in P (fewest
+         branching candidates left). *)
+      let pivot = ref (-1) and pivot_score = ref (-1) in
+      let consider u =
+        let score = Bitset.inter_cardinal comp_adj.(u) p in
+        if score > !pivot_score then begin
+          pivot_score := score;
+          pivot := u
+        end
+      in
+      Bitset.iter consider p;
+      Bitset.iter consider x;
+      let candidates =
+        if !pivot >= 0 then Bitset.diff p comp_adj.(!pivot) else Bitset.copy p
+      in
+      let p = Bitset.copy p and x = Bitset.copy x in
+      Bitset.iter
+        (fun v ->
+          Bitset.add current v;
+          expand (r_weight + weight.(v))
+            (Bitset.inter p comp_adj.(v))
+            (Bitset.inter x comp_adj.(v));
+          Bitset.remove current v;
+          Bitset.remove p v;
+          Bitset.add x v)
+        candidates
+    end
+  in
+  expand 0 (Bitset.full n) (Bitset.create n);
+  (!best_w, !best_set)

@@ -1,0 +1,16 @@
+(** A second, independent exact MWIS solver: maximum-weight clique of the
+    complement graph via Bron–Kerbosch with pivoting and weight-based
+    pruning.
+
+    This exists purely as a {e differential oracle}: it shares no code
+    path with {!Exact} (different algorithm, different graph — the
+    complement), so agreement between the two on thousands of random and
+    gadget instances makes a silent bug in either vanishingly unlikely.
+    The brute-force oracle ({!Brute}) covers [n <= 24]; this one is
+    practical well past 100 nodes on the dense gadget graphs (whose
+    complements are sparse). *)
+
+val solve : Wgraph.Graph.t -> int * Stdx.Bitset.t
+(** [(weight, witness)] — the maximum-weight independent set, computed as
+    the maximum-weight clique of the complement.  Same [max_nodes] guard
+    as {!Exact}. *)

@@ -1,0 +1,33 @@
+module Bitset = Stdx.Bitset
+module Graph = Wgraph.Graph
+
+let solve g =
+  let n = Graph.n g in
+  if n > 24 then invalid_arg "Mis.Brute.solve: too many nodes";
+  (* Precompute neighborhood masks as plain ints. *)
+  let nbr = Array.make n 0 in
+  Graph.iter_edges
+    (fun u v ->
+      nbr.(u) <- nbr.(u) lor (1 lsl v);
+      nbr.(v) <- nbr.(v) lor (1 lsl u))
+    g;
+  let best_w = ref 0 and best_mask = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let independent = ref true in
+    let weight = ref 0 in
+    for v = 0 to n - 1 do
+      if mask land (1 lsl v) <> 0 then begin
+        if mask land nbr.(v) <> 0 then independent := false;
+        weight := !weight + Graph.weight g v
+      end
+    done;
+    if !independent && !weight > !best_w then begin
+      best_w := !weight;
+      best_mask := mask
+    end
+  done;
+  let set = Bitset.create n in
+  for v = 0 to n - 1 do
+    if !best_mask land (1 lsl v) <> 0 then Bitset.add set v
+  done;
+  (!best_w, set)

@@ -1,0 +1,8 @@
+(** Brute-force maximum-weight independent set, for cross-checking.
+
+    Enumerates all subsets; usable only for [n <= 24].  The property tests
+    compare {!Exact.solve} against this on random small graphs — a strong
+    correctness oracle for the branch-and-bound solver. *)
+
+val solve : Wgraph.Graph.t -> int * Stdx.Bitset.t
+(** [(weight, witness)].  Raises [Invalid_argument] for [n > 24]. *)

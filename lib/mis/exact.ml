@@ -1,0 +1,109 @@
+module Bitset = Stdx.Bitset
+module Graph = Wgraph.Graph
+
+type solution = { weight : int; set : Bitset.t; nodes_explored : int }
+
+let max_nodes = 4000
+
+(* Greedy clique-cover upper bound: partition the candidate set into
+   cliques; an independent set holds at most one node per clique, so the sum
+   of per-clique maximum weights bounds OPT on the candidates.  On the
+   paper's gadgets (disjoint unions of cliques plus sparse inter-clique
+   edges) this is nearly tight, which is what makes the search fast.
+
+   We scan candidates in decreasing-weight order and put each node into the
+   first clique class whose members are all adjacent to it. *)
+let clique_cover_bound g order cands =
+  (* class_mask.(c) = bitset of members; class_max.(c) = max weight. *)
+  let classes : Bitset.t array ref = ref (Array.make 8 (Bitset.create 0)) in
+  let class_max = ref (Array.make 8 0) in
+  let nclasses = ref 0 in
+  let bound = ref 0 in
+  Array.iter
+    (fun v ->
+      if Bitset.mem cands v then begin
+        let nbrs = Graph.neighbors g v in
+        let rec find c =
+          if c >= !nclasses then c
+          else if Bitset.subset !classes.(c) nbrs then c
+          else find (c + 1)
+        in
+        let c = find 0 in
+        if c = !nclasses then begin
+          if c >= Array.length !classes then begin
+            let grow_to = 2 * Array.length !classes in
+            let new_classes = Array.make grow_to (Bitset.create 0) in
+            Array.blit !classes 0 new_classes 0 c;
+            classes := new_classes;
+            let new_max = Array.make grow_to 0 in
+            Array.blit !class_max 0 new_max 0 c;
+            class_max := new_max
+          end;
+          !classes.(c) <- Bitset.create (Graph.n g);
+          !class_max.(c) <- 0;
+          incr nclasses
+        end;
+        Bitset.add !classes.(c) v;
+        let w = Graph.weight g v in
+        if w > !class_max.(c) then begin
+          bound := !bound + w - !class_max.(c);
+          !class_max.(c) <- w
+        end
+      end)
+    order;
+  !bound
+
+let solve_on g cands0 =
+  let n = Graph.n g in
+  if n > max_nodes then
+    invalid_arg
+      (Printf.sprintf "Mis.Exact.solve: %d nodes exceeds max_nodes=%d" n
+         max_nodes);
+  (* Static order: decreasing weight, ties by decreasing degree — good both
+     for the clique cover and for branching. *)
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare (Graph.weight g b) (Graph.weight g a) in
+      if c <> 0 then c else compare (Graph.degree g b) (Graph.degree g a))
+    order;
+  let best_weight = ref 0 in
+  let best_set = ref (Bitset.create n) in
+  let current = Bitset.create n in
+  let explored = ref 0 in
+  let rec branch cands cur_weight =
+    incr explored;
+    if Bitset.is_empty cands then begin
+      if cur_weight > !best_weight then begin
+        best_weight := cur_weight;
+        best_set := Bitset.copy current
+      end
+    end
+    else if cur_weight + clique_cover_bound g order cands > !best_weight then begin
+      (* Branch on the heaviest candidate. *)
+      let v =
+        let rec find i =
+          if Bitset.mem cands order.(i) then order.(i) else find (i + 1)
+        in
+        find 0
+      in
+      (* Include v. *)
+      let without_nv = Bitset.diff cands (Graph.neighbors g v) in
+      Bitset.remove without_nv v;
+      Bitset.add current v;
+      branch without_nv (cur_weight + Graph.weight g v);
+      Bitset.remove current v;
+      (* Exclude v. *)
+      let without_v = Bitset.copy cands in
+      Bitset.remove without_v v;
+      branch without_v cur_weight
+    end
+  in
+  branch (Bitset.copy cands0) 0;
+  { weight = !best_weight; set = !best_set; nodes_explored = !explored }
+
+let solve g = solve_on g (Bitset.full (Graph.n g))
+
+let solve_induced g cands = solve_on g cands
+
+let opt g = (solve g).weight

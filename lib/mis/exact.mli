@@ -1,0 +1,33 @@
+(** Exact maximum-weight independent set.
+
+    This solver turns the paper's case analyses (Claims 1–7) into machine
+    checks: for every constructed instance we compute [OPT] exactly and
+    compare it against the closed-form predictions.
+
+    The algorithm is branch and bound over bitset candidate sets with a
+    greedy clique-cover upper bound — well suited to the gadget graphs,
+    which are unions of cliques plus sparse connections, so the clique
+    cover is nearly exact and pruning is aggressive.  Instances up to a few
+    hundred nodes (all instances in the test and bench suites) solve in
+    milliseconds to seconds. *)
+
+type solution = {
+  weight : int;  (** OPT — the paper's maximum independent set value *)
+  set : Stdx.Bitset.t;  (** a witness achieving it *)
+  nodes_explored : int;  (** branch-and-bound tree size, for the benches *)
+}
+
+val solve : Wgraph.Graph.t -> solution
+(** Raises nothing; on the empty graph returns weight 0. *)
+
+val solve_induced : Wgraph.Graph.t -> Stdx.Bitset.t -> solution
+(** Maximum-weight independent set of the subgraph induced by the given
+    node set, expressed in the original graph's node numbering.  This is
+    what the "Limitations" protocol runs on each player's region [Vⁱ]. *)
+
+val opt : Wgraph.Graph.t -> int
+(** [opt g = (solve g).weight]. *)
+
+val max_nodes : int
+(** Safety limit on instance size (default 4000); [solve] raises
+    [Invalid_argument] beyond it rather than running forever. *)

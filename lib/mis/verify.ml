@@ -1,0 +1,30 @@
+module Graph = Wgraph.Graph
+
+type report = {
+  ok : bool;
+  independent : bool;
+  weight_matches : bool;
+  claimed_weight : int;
+  actual_weight : int;
+  violations : (int * int) list;
+}
+
+let solution g ~claimed_weight set =
+  let violations = Wgraph.Check.independence_violations g set in
+  let independent = violations = [] in
+  let actual_weight = Graph.set_weight_of g set in
+  let weight_matches = actual_weight = claimed_weight in
+  {
+    ok = independent && weight_matches;
+    independent;
+    weight_matches;
+    claimed_weight;
+    actual_weight;
+    violations;
+  }
+
+let solution_ok g ~claimed_weight set = (solution g ~claimed_weight set).ok
+
+let approximation_ratio ~opt ~achieved =
+  if opt <= 0 then invalid_arg "Verify.approximation_ratio: opt must be > 0";
+  float_of_int achieved /. float_of_int opt

@@ -1,0 +1,24 @@
+(** Solution verifiers.
+
+    Everything the solvers emit is re-checked independently: a solution is
+    valid iff its set is independent and its reported weight matches the
+    actual set weight (Definition 5's [w(I)]). *)
+
+type report = {
+  ok : bool;
+  independent : bool;
+  weight_matches : bool;
+  claimed_weight : int;
+  actual_weight : int;
+  violations : (int * int) list;  (** adjacent pairs inside the set *)
+}
+
+val solution : Wgraph.Graph.t -> claimed_weight:int -> Stdx.Bitset.t -> report
+
+val solution_ok : Wgraph.Graph.t -> claimed_weight:int -> Stdx.Bitset.t -> bool
+
+val approximation_ratio : opt:int -> achieved:int -> float
+(** [achieved / opt]; by Definition 5 an independent set [I] is a
+    γ-approximation when [w(I) >= OPT·γ] (the paper writes [OPT/γ] with
+    γ >= 1 in Definition 5 but uses γ in [0,1] elsewhere; we standardize on
+    ratios in [0,1]).  Raises [Invalid_argument] when [opt <= 0]. *)

@@ -1,0 +1,50 @@
+module Bitset = Stdx.Bitset
+module Graph = Wgraph.Graph
+
+let exact g =
+  let sol = Exact.solve g in
+  let cover = Bitset.complement sol.Exact.set in
+  (Graph.total_weight g - sol.Exact.weight, cover)
+
+let is_cover = Wgraph.Check.is_vertex_cover
+
+let local_ratio_2approx g =
+  let n = Graph.n g in
+  let residual = Array.init n (fun v -> Graph.weight g v) in
+  (* Pay down residual weights edge by edge. *)
+  Graph.iter_edges
+    (fun u v ->
+      let eps = min residual.(u) residual.(v) in
+      if eps > 0 then begin
+        residual.(u) <- residual.(u) - eps;
+        residual.(v) <- residual.(v) - eps
+      end)
+    g;
+  let cover = Bitset.create n in
+  for v = 0 to n - 1 do
+    if residual.(v) = 0 && Graph.weight g v > 0 then Bitset.add cover v
+  done;
+  (* Zero-weight nodes are free cover members; include them when they cover
+     anything, then prune to a minimal cover (dropping nodes whose removal
+     keeps every edge covered only improves the weight). *)
+  for v = 0 to n - 1 do
+    if Graph.weight g v = 0 then Bitset.add cover v
+  done;
+  for v = 0 to n - 1 do
+    if Bitset.mem cover v then begin
+      Bitset.remove cover v;
+      let still_covered =
+        Bitset.for_all
+          (fun u -> Bitset.mem cover u)
+          (Graph.neighbors g v)
+      in
+      if not still_covered then Bitset.add cover v
+    end
+  done;
+  (Graph.set_weight_of g cover, cover)
+
+let duality_check g =
+  let mvc, cover = exact g in
+  is_cover g cover
+  && mvc = Graph.set_weight_of g cover
+  && mvc + (Exact.solve g).Exact.weight = Graph.total_weight g

@@ -1,0 +1,28 @@
+(** Minimum-weight vertex cover, via independent-set duality.
+
+    The complement of a maximum-weight independent set is a minimum-weight
+    vertex cover (and vice versa), so the exact MaxIS solver doubles as an
+    exact MVC solver.  The paper's "Limitations" section discusses MVC
+    alongside MaxIS — the two-party framework cannot defeat
+    (3/2)-approximation for MVC (an argument from Bachrach et al.) — and
+    this module supplies the MVC side of that picture, including the
+    classic Bar-Yehuda–Even local-ratio 2-approximation as the matching
+    upper bound. *)
+
+val exact : Wgraph.Graph.t -> int * Stdx.Bitset.t
+(** [(weight, cover)] — optimal, computed as the complement of the exact
+    maximum-weight independent set. *)
+
+val local_ratio_2approx : Wgraph.Graph.t -> int * Stdx.Bitset.t
+(** Bar-Yehuda–Even: repeatedly pick an uncovered edge and pay the smaller
+    residual weight on both endpoints; zero-residual nodes form the cover,
+    pruned to a minimal one.  Weight at most twice the optimum. *)
+
+val is_cover : Wgraph.Graph.t -> Stdx.Bitset.t -> bool
+(** Every edge has an endpoint in the set (re-exported convenience). *)
+
+val duality_check : Wgraph.Graph.t -> bool
+(** Internal consistency: the returned cover is a valid vertex cover of
+    the reported weight and [w(MVC) + w(MaxIS) = w(V)] (the weighted
+    Gallai identity).  The test suite additionally pins optimality against
+    an independent brute-force MaxIS. *)

@@ -1,0 +1,197 @@
+(* Dense bitsets over [int] words.  We use 62 bits per word: staying clear of
+   the sign bit keeps every word a non-negative OCaml [int], which makes
+   popcount and comparisons straightforward on both 64-bit and JS backends. *)
+
+let bits_per_word = 62
+
+type t = { capacity : int; words : int array }
+
+let word_count n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity = n; words = Array.make (max 1 (word_count n)) 0 }
+
+let capacity s = s.capacity
+
+let check_range s i =
+  if i < 0 || i >= s.capacity then
+    invalid_arg
+      (Printf.sprintf "Bitset: index %d out of range [0, %d)" i s.capacity)
+
+let check_same a b =
+  if a.capacity <> b.capacity then
+    invalid_arg
+      (Printf.sprintf "Bitset: capacity mismatch (%d vs %d)" a.capacity
+         b.capacity)
+
+(* Mask for the last word so that unused high bits stay zero. *)
+let last_word_mask n =
+  let r = n mod bits_per_word in
+  if r = 0 then (1 lsl bits_per_word) - 1 else (1 lsl r) - 1
+
+let full n =
+  let s = create n in
+  let w = Array.length s.words in
+  for i = 0 to w - 1 do
+    s.words.(i) <- (1 lsl bits_per_word) - 1
+  done;
+  if n > 0 then s.words.(w - 1) <- s.words.(w - 1) land last_word_mask n
+  else s.words.(0) <- 0;
+  s
+
+let copy s = { capacity = s.capacity; words = Array.copy s.words }
+
+let mem s i =
+  check_range s i;
+  s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add s i =
+  check_range s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove s i =
+  check_range s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let fill s =
+  let f = full s.capacity in
+  Array.blit f.words 0 s.words 0 (Array.length s.words)
+
+let of_list n elts =
+  let s = create n in
+  List.iter (fun i -> add s i) elts;
+  s
+
+let singleton n i = of_list n [ i ]
+
+let popcount_word w =
+  (* Kernighan's loop; words are short-lived so this is fast enough and
+     portable. *)
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount_word w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let map2 f a b =
+  check_same a b;
+  let r = create a.capacity in
+  for i = 0 to Array.length a.words - 1 do
+    r.words.(i) <- f a.words.(i) b.words.(i)
+  done;
+  r
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let complement a =
+  let r = full a.capacity in
+  for i = 0 to Array.length a.words - 1 do
+    r.words.(i) <- r.words.(i) land lnot a.words.(i)
+  done;
+  r
+
+let in_place f a b =
+  check_same a b;
+  for i = 0 to Array.length a.words - 1 do
+    a.words.(i) <- f a.words.(i) b.words.(i)
+  done
+
+let union_in_place a b = in_place ( lor ) a b
+let inter_in_place a b = in_place ( land ) a b
+let diff_in_place a b = in_place (fun x y -> x land lnot y) a b
+
+let equal a b =
+  check_same a b;
+  Array.for_all2 ( = ) a.words b.words
+
+let subset a b =
+  check_same a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let disjoint a b =
+  check_same a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let intersects a b = not (disjoint a b)
+
+let inter_cardinal a b =
+  check_same a b;
+  let c = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    c := !c + popcount_word (a.words.(i) land b.words.(i))
+  done;
+  !c
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let word = s.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let to_array s =
+  let n = cardinal s in
+  let a = Array.make n 0 in
+  let j = ref 0 in
+  iter
+    (fun i ->
+      a.(!j) <- i;
+      incr j)
+    s;
+  a
+
+exception Found of int
+
+let min_elt s =
+  try
+    iter (fun i -> raise (Found i)) s;
+    None
+  with Found i -> Some i
+
+let max_elt s = fold (fun i _ -> Some i) s None
+let choose = min_elt
+
+let exists p s =
+  try
+    iter (fun i -> if p i then raise (Found i)) s;
+    false
+  with Found _ -> true
+
+let for_all p s = not (exists (fun i -> not (p i)) s)
+
+let pp ppf s =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  iter
+    (fun i ->
+      if !first then first := false else Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d" i)
+    s;
+  Format.fprintf ppf "}"
+
+let to_string s = Format.asprintf "%a" pp s

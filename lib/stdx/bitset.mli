@@ -1,0 +1,118 @@
+(** Dense, fixed-capacity bitsets.
+
+    This is the workhorse data structure of the repository: graph adjacency
+    rows, candidate sets inside the branch-and-bound maximum-weight
+    independent-set solver, and the players' input strings of the
+    communication-complexity substrate are all bitsets.
+
+    A bitset has a fixed {e capacity} decided at creation time; all members
+    are integers in [0, capacity).  Operations never grow a bitset.  Unless
+    stated otherwise, binary operations require both arguments to have the
+    same capacity and raise [Invalid_argument] otherwise. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n].  Raises
+    [Invalid_argument] if [n < 0]. *)
+
+val full : int -> t
+(** [full n] is the set [{0, ..., n-1}] with capacity [n]. *)
+
+val copy : t -> t
+(** [copy s] is a fresh bitset equal to [s]; mutating one does not affect
+    the other. *)
+
+val of_list : int -> int list -> t
+(** [of_list n elts] is the set with capacity [n] containing exactly
+    [elts].  Raises [Invalid_argument] on out-of-range elements. *)
+
+val singleton : int -> int -> t
+(** [singleton n i] is [of_list n [i]]. *)
+
+(** {1 Capacity and cardinality} *)
+
+val capacity : t -> int
+(** Fixed capacity chosen at creation time. *)
+
+val cardinal : t -> int
+(** Number of members (population count). *)
+
+val is_empty : t -> bool
+
+(** {1 Membership and mutation} *)
+
+val mem : t -> int -> bool
+(** [mem s i] tests membership.  Raises [Invalid_argument] if [i] is out of
+    range. *)
+
+val add : t -> int -> unit
+(** [add s i] inserts [i] in place. *)
+
+val remove : t -> int -> unit
+(** [remove s i] deletes [i] in place. *)
+
+val clear : t -> unit
+(** Remove every member in place. *)
+
+val fill : t -> unit
+(** Insert every member of [0 .. capacity-1] in place. *)
+
+(** {1 Set algebra (allocating)} *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+(** {1 Set algebra (in place, first argument mutated)} *)
+
+val union_in_place : t -> t -> unit
+val inter_in_place : t -> t -> unit
+val diff_in_place : t -> t -> unit
+
+(** {1 Predicates} *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is true iff every member of [a] is a member of [b]. *)
+
+val disjoint : t -> t -> bool
+val intersects : t -> t -> bool
+(** [intersects a b = not (disjoint a b)]. *)
+
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] is [cardinal (inter a b)] without allocating. *)
+
+(** {1 Iteration and search} *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over members in increasing order. *)
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val to_array : t -> int array
+
+val min_elt : t -> int option
+(** Smallest member, or [None] when empty. *)
+
+val max_elt : t -> int option
+
+val choose : t -> int option
+(** Some member (the smallest), or [None] when empty. *)
+
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+
+(** {1 Formatting} *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [{0, 3, 17}]. *)
+
+val to_string : t -> string

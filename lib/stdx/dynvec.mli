@@ -1,0 +1,22 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]).
+
+    Used for edge lists and trace accumulation where the final size is not
+    known in advance. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when out of range. *)
+
+val set : 'a t -> int -> 'a -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool

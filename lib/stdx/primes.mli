@@ -1,0 +1,16 @@
+(** Small-prime utilities.
+
+    The Reed–Solomon code mapping of the paper (Theorem 4) needs a finite
+    field with at least [ℓ+α] elements; we always use the smallest prime
+    at least that large as the alphabet size ([Codes.Code_params]). *)
+
+val is_prime : int -> bool
+(** Deterministic trial-division primality test, exact for all [int]
+    arguments (intended for the small values used as field sizes). *)
+
+val next_prime : int -> int
+(** [next_prime n] is the smallest prime [>= n].  Raises [Invalid_argument]
+    when [n < 0]. *)
+
+val primes_up_to : int -> int list
+(** All primes [<= n], ascending (simple sieve). *)

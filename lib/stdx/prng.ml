@@ -1,0 +1,62 @@
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  One mutable int64 of state. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = { state = int64 g }
+
+let bits g = Int64.to_int (Int64.shift_right_logical (int64 g) 34)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits keeps the distribution exactly
+     uniform. *)
+  let mask = max_int in
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (int64 g) 2) land mask in
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then go () else v
+  in
+  go ()
+
+let bool g = Int64.logand (int64 g) 1L = 1L
+
+let float g x =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 g) 11) in
+  x *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let sample_without_replacement g n m =
+  if m < 0 || m > n then invalid_arg "Prng.sample_without_replacement";
+  (* Floyd's algorithm: m iterations, set-backed. *)
+  let module S = Set.Make (Int) in
+  let s = ref S.empty in
+  for j = n - m to n - 1 do
+    let r = int g (j + 1) in
+    if S.mem r !s then s := S.add j !s else s := S.add r !s
+  done;
+  S.elements !s

@@ -1,0 +1,26 @@
+(** Summary statistics over float samples.
+
+    Used by the benchmark harness to report distributions (e.g. achieved
+    approximation ratios over random promise inputs, blackboard bits over
+    repeated simulations). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator); 0 for n <= 1 *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;  (** 90th percentile (nearest-rank) *)
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val summarize_ints : int array -> summary
+
+val mean : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100], nearest-rank on a sorted copy. *)
+
+val pp_summary : Format.formatter -> summary -> unit

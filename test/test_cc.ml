@@ -1,0 +1,267 @@
+(* Tests for the communication-complexity substrate: inputs, blackboard,
+   functions, protocols, bounds. *)
+
+module Inputs = Commcx.Inputs
+module Blackboard = Commcx.Blackboard
+module Functions = Commcx.Functions
+module Protocol = Commcx.Protocol
+module BP = Commcx.Baseline_protocols
+module Bitset = Stdx.Bitset
+module Prng = Stdx.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_inputs_make () =
+  let x = Inputs.of_bit_lists ~k:8 [ [ 0; 3 ]; [ 1; 3 ]; [ 3; 7 ] ] in
+  check_int "players" 3 (Inputs.t_players x);
+  check "bit" true (Inputs.bit x ~player:0 3);
+  check "bit off" false (Inputs.bit x ~player:0 1);
+  Alcotest.check_raises "bad player"
+    (Invalid_argument "Inputs.string_of_player: bad player index") (fun () ->
+      ignore (Inputs.string_of_player x 3))
+
+let test_inputs_capacity_checked () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Inputs.make: string capacity differs from k") (fun () ->
+      ignore (Inputs.make ~k:4 [ Bitset.create 5 ]))
+
+let test_pairwise_disjoint () =
+  let disjoint = Inputs.of_bit_lists ~k:9 [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] in
+  check "disjoint" true (Inputs.pairwise_disjoint disjoint);
+  let touching = Inputs.of_bit_lists ~k:9 [ [ 0; 1 ]; [ 1; 2 ]; [ 4 ] ] in
+  check "pair collides" false (Inputs.pairwise_disjoint touching)
+
+let test_uniquely_intersecting () =
+  let x = Inputs.of_bit_lists ~k:9 [ [ 0; 5 ]; [ 1; 5 ]; [ 5; 7 ] ] in
+  Alcotest.(check (option int)) "common" (Some 5) (Inputs.uniquely_intersecting x);
+  let y = Inputs.of_bit_lists ~k:9 [ [ 0 ]; [ 0 ]; [ 1 ] ] in
+  Alcotest.(check (option int)) "no common" None (Inputs.uniquely_intersecting y)
+
+let test_promise () =
+  let good = Inputs.of_bit_lists ~k:9 [ [ 0; 5 ]; [ 1; 5 ]; [ 5 ] ] in
+  check "good promise" true (Inputs.satisfies_promise good);
+  let bad = Inputs.of_bit_lists ~k:9 [ [ 0; 5 ]; [ 0; 5 ]; [ 5 ] ] in
+  check "bad promise" false (Inputs.satisfies_promise bad);
+  let disj = Inputs.of_bit_lists ~k:9 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  check "disjoint promise" true (Inputs.satisfies_promise disj)
+
+let test_generators_respect_promise () =
+  let rng = Prng.create 3 in
+  for t = 2 to 5 do
+    for _ = 1 to 20 do
+      let xi = Inputs.gen_promise rng ~k:40 ~t ~intersecting:true in
+      check "intersecting valid" true (Inputs.satisfies_promise xi);
+      check "has common" true (Inputs.uniquely_intersecting xi <> None);
+      let xd = Inputs.gen_promise rng ~k:40 ~t ~intersecting:false in
+      check "disjoint valid" true (Inputs.pairwise_disjoint xd);
+      check "no common" true (Inputs.uniquely_intersecting xd = None)
+    done
+  done
+
+let test_generator_ones_count () =
+  let rng = Prng.create 5 in
+  let x = Inputs.gen_pairwise_disjoint rng ~k:30 ~t:3 ~ones_per_player:4 in
+  for i = 0 to 2 do
+    check_int "ones" 4 (Bitset.cardinal (Inputs.string_of_player x i))
+  done;
+  let y = Inputs.gen_uniquely_intersecting rng ~k:30 ~t:3 ~ones_per_player:4 in
+  for i = 0 to 2 do
+    check_int "ones w/ common" 4 (Bitset.cardinal (Inputs.string_of_player y i))
+  done
+
+let test_generator_bounds () =
+  let rng = Prng.create 5 in
+  Alcotest.check_raises "too dense"
+    (Invalid_argument "Inputs.gen_pairwise_disjoint: not enough indices")
+    (fun () -> ignore (Inputs.gen_pairwise_disjoint rng ~k:5 ~t:3 ~ones_per_player:2));
+  Alcotest.check_raises "zero ones"
+    (Invalid_argument "Inputs.gen_uniquely_intersecting: need >= 1 one per player")
+    (fun () -> ignore (Inputs.gen_uniquely_intersecting rng ~k:5 ~t:2 ~ones_per_player:0))
+
+let prop_generated_promises_valid =
+  QCheck.Test.make ~name:"generators always satisfy the promise" ~count:100
+    QCheck.(triple small_int small_int bool) (fun (seed, tt, inter) ->
+      let t = 2 + (tt mod 4) in
+      let rng = Prng.create seed in
+      let x = Inputs.gen_promise rng ~k:(8 * t) ~t ~intersecting:inter in
+      Inputs.satisfies_promise x
+      && (Inputs.uniquely_intersecting x <> None) = inter)
+
+let test_blackboard_accounting () =
+  let b = Blackboard.create () in
+  check_int "empty" 0 (Blackboard.bits_written b);
+  Blackboard.write b ~author:0 ~bits:5 ~tag:"a" 17;
+  Blackboard.write b ~author:1 ~bits:7 ~tag:"b" 99;
+  Blackboard.write b ~author:0 ~bits:3 ~tag:"a" 2;
+  check_int "total" 15 (Blackboard.bits_written b);
+  check_int "writes" 3 (Blackboard.writes b);
+  Alcotest.(check (list (pair int int))) "by author" [ (0, 8); (1, 7) ]
+    (Blackboard.bits_by_author b);
+  (match Blackboard.read_last b ~tag:"a" with
+  | Some e -> check_int "last a" 2 e.Blackboard.value
+  | None -> Alcotest.fail "tag a missing");
+  check "no tag" true (Blackboard.read_last b ~tag:"zzz" = None);
+  Alcotest.check_raises "negative bits"
+    (Invalid_argument "Blackboard.write: negative bit count") (fun () ->
+      Blackboard.write b ~author:0 ~bits:(-1) 0)
+
+let test_blackboard_payload_fits () =
+  check "fits" true
+    (Blackboard.check_payload_fits { author = 0; bits = 5; value = 31; tag = "" });
+  check "does not fit" false
+    (Blackboard.check_payload_fits { author = 0; bits = 5; value = 32; tag = "" });
+  check "wide" true
+    (Blackboard.check_payload_fits { author = 0; bits = 63; value = max_int; tag = "" })
+
+let test_blackboard_entry_order () =
+  let b = Blackboard.create () in
+  Blackboard.write b ~author:0 ~bits:1 1;
+  Blackboard.write b ~author:1 ~bits:1 2;
+  Alcotest.(check (list int)) "ordered" [ 1; 2 ]
+    (List.map (fun (e : Blackboard.entry) -> e.Blackboard.value) (Blackboard.entries b))
+
+let test_two_party_disjointness () =
+  let d = Inputs.of_bit_lists ~k:4 [ [ 0 ]; [ 1 ] ] in
+  check "disjoint" true (Functions.two_party_disjointness d);
+  let i = Inputs.of_bit_lists ~k:4 [ [ 0; 2 ]; [ 2 ] ] in
+  check "intersect" false (Functions.two_party_disjointness i);
+  let three = Inputs.of_bit_lists ~k:4 [ []; []; [] ] in
+  Alcotest.check_raises "three players"
+    (Invalid_argument "Functions.two_party_disjointness: need exactly 2 players")
+    (fun () -> ignore (Functions.two_party_disjointness three))
+
+let test_multiparty_disjointness () =
+  let no_common = Inputs.of_bit_lists ~k:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ] in
+  check "pairwise hits but no common index" true
+    (Functions.multiparty_disjointness no_common);
+  let common = Inputs.of_bit_lists ~k:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 1 ] ] in
+  check "common" false (Functions.multiparty_disjointness common)
+
+let test_promise_function () =
+  let disj = Inputs.of_bit_lists ~k:4 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  check "TRUE on disjoint" true (Functions.promise_pairwise_disjointness disj);
+  let inter = Inputs.of_bit_lists ~k:4 [ [ 3 ]; [ 3 ]; [ 3 ] ] in
+  check "FALSE on intersecting" false (Functions.promise_pairwise_disjointness inter);
+  let invalid = Inputs.of_bit_lists ~k:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2 ] ] in
+  Alcotest.check_raises "off promise"
+    (Invalid_argument "Functions.promise_pairwise_disjointness: input violates the promise")
+    (fun () -> ignore (Functions.promise_pairwise_disjointness invalid))
+
+let promise_inputs seed ~k ~t ~count =
+  let rng = Prng.create seed in
+  List.init count (fun i ->
+      Inputs.gen_promise rng ~k ~t ~intersecting:(i mod 2 = 0))
+
+let test_protocols_correct () =
+  let k = 24 and t = 3 in
+  let inputs = promise_inputs 11 ~k ~t ~count:30 in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (p.Protocol.name ^ " accuracy") 1.0
+        (Protocol.accuracy p Functions.promise_pairwise_disjointness inputs))
+    (BP.all ~k)
+
+let test_exchange_everything_cost () =
+  let k = 24 and t = 3 in
+  let x = List.hd (promise_inputs 7 ~k ~t ~count:1) in
+  let o = Protocol.execute BP.exchange_everything x in
+  check_int "t*k bits" (t * k) o.Protocol.bits
+
+let test_sparse_encoding_cheaper_on_sparse () =
+  let k = 64 and t = 4 in
+  let rng = Prng.create 9 in
+  let x = Inputs.gen_pairwise_disjoint rng ~k ~t ~ones_per_player:2 in
+  let dense = (Protocol.execute BP.exchange_everything x).Protocol.bits in
+  let sparse = (Protocol.execute (BP.sparse_encoding ~k) x).Protocol.bits in
+  check "sparse cheaper" true (sparse < dense)
+
+let test_sequential_intersect_collapses () =
+  let k = 64 and t = 5 in
+  let rng = Prng.create 13 in
+  let x = Inputs.gen_uniquely_intersecting rng ~k ~t ~ones_per_player:4 in
+  let o = Protocol.execute (BP.sequential_intersect ~k) x in
+  check "answer false (intersecting)" false o.Protocol.answer;
+  check "cheap" true (o.Protocol.bits < t * k)
+
+let test_worst_case_bits () =
+  let k = 16 and t = 2 in
+  let inputs = promise_inputs 17 ~k ~t ~count:10 in
+  check_int "worst case of constant-cost protocol" (t * k)
+    (Protocol.worst_case_bits BP.exchange_everything inputs)
+
+let prop_protocols_never_beat_bound =
+  QCheck.Test.make ~name:"implemented protocols cost >= CC bound" ~count:20
+    QCheck.small_int (fun seed ->
+      let k = 60 and t = 3 in
+      let inputs = promise_inputs seed ~k ~t ~count:16 in
+      let bound =
+        Commcx.Cc_bounds.eval_bits Commcx.Cc_bounds.promise_pairwise_disjointness ~k ~t
+      in
+      List.for_all
+        (fun p -> float_of_int (Protocol.worst_case_bits p inputs) >= bound)
+        (BP.all ~k))
+
+let test_bound_formulas () =
+  Alcotest.(check (float 1e-9)) "two party" 100.0
+    (Commcx.Cc_bounds.eval_bits Commcx.Cc_bounds.two_party_disjointness ~k:100 ~t:2);
+  Alcotest.(check (float 1e-9)) "promise t=2" 50.0
+    (Commcx.Cc_bounds.eval_bits Commcx.Cc_bounds.promise_pairwise_disjointness ~k:100 ~t:2);
+  Alcotest.(check (float 1e-9)) "promise t=4" 12.5
+    (Commcx.Cc_bounds.eval_bits Commcx.Cc_bounds.promise_pairwise_disjointness ~k:100 ~t:4)
+
+let test_bound_monotone_in_t () =
+  let b = Commcx.Cc_bounds.promise_pairwise_disjointness in
+  let prev = ref infinity in
+  for t = 2 to 10 do
+    let v = Commcx.Cc_bounds.eval_bits b ~k:1000 ~t in
+    check "decreasing in t" true (v <= !prev);
+    prev := v
+  done
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "commcx"
+    [
+      ( "inputs",
+        [
+          Alcotest.test_case "make" `Quick test_inputs_make;
+          Alcotest.test_case "capacity" `Quick test_inputs_capacity_checked;
+          Alcotest.test_case "pairwise disjoint" `Quick test_pairwise_disjoint;
+          Alcotest.test_case "uniquely intersecting" `Quick test_uniquely_intersecting;
+          Alcotest.test_case "promise" `Quick test_promise;
+          Alcotest.test_case "generators respect promise" `Quick
+            test_generators_respect_promise;
+          Alcotest.test_case "ones count" `Quick test_generator_ones_count;
+          Alcotest.test_case "generator bounds" `Quick test_generator_bounds;
+        ] );
+      qsuite "inputs-props" [ prop_generated_promises_valid ];
+      ( "blackboard",
+        [
+          Alcotest.test_case "accounting" `Quick test_blackboard_accounting;
+          Alcotest.test_case "payload fits" `Quick test_blackboard_payload_fits;
+          Alcotest.test_case "entry order" `Quick test_blackboard_entry_order;
+        ] );
+      ( "functions",
+        [
+          Alcotest.test_case "two-party" `Quick test_two_party_disjointness;
+          Alcotest.test_case "multiparty" `Quick test_multiparty_disjointness;
+          Alcotest.test_case "promise function" `Quick test_promise_function;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "all correct on promise" `Quick test_protocols_correct;
+          Alcotest.test_case "exchange-everything cost" `Quick test_exchange_everything_cost;
+          Alcotest.test_case "sparse cheaper" `Quick test_sparse_encoding_cheaper_on_sparse;
+          Alcotest.test_case "sequential collapses" `Quick test_sequential_intersect_collapses;
+          Alcotest.test_case "worst case bits" `Quick test_worst_case_bits;
+        ] );
+      qsuite "protocol-props" [ prop_protocols_never_beat_bound ];
+      ( "bounds",
+        [
+          Alcotest.test_case "formulas" `Quick test_bound_formulas;
+          Alcotest.test_case "monotone in t" `Quick test_bound_monotone_in_t;
+        ] );
+    ]

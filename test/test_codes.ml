@@ -1,0 +1,324 @@
+(* Tests for the coding substrate: GF(p), polynomials, Reed-Solomon,
+   code mappings, parameter selection. *)
+
+module Gf = Codes.Gf
+module Poly = Codes.Poly
+module RS = Codes.Reed_solomon
+module CM = Codes.Code_mapping
+module CP = Codes.Code_params
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* GF(p) *)
+
+let test_gf_requires_prime () =
+  Alcotest.check_raises "composite" (Invalid_argument "Gf.make: 6 is not prime")
+    (fun () -> ignore (Gf.make 6));
+  ignore (Gf.make 2);
+  ignore (Gf.make 97)
+
+let test_gf_arithmetic () =
+  let f = Gf.make 7 in
+  check_int "add" 2 (Gf.add f 5 4);
+  check_int "sub" 6 (Gf.sub f 2 3);
+  check_int "mul" 6 (Gf.mul f 4 5);
+  check_int "neg" 4 (Gf.neg f 3);
+  check_int "of_int negative" 5 (Gf.of_int f (-2));
+  check_int "pow" 1 (Gf.pow f 3 6);
+  check_int "pow 0" 1 (Gf.pow f 5 0)
+
+let test_gf_inverse () =
+  let f = Gf.make 11 in
+  for a = 1 to 10 do
+    check_int (Printf.sprintf "inv %d" a) 1 (Gf.mul f a (Gf.inv f a))
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Gf.inv f 0));
+  check_int "div" 4 (Gf.div f 8 2)
+
+let test_gf_field_axioms_small () =
+  (* Exhaustive associativity/distributivity over GF(5). *)
+  let f = Gf.make 5 in
+  for a = 0 to 4 do
+    for b = 0 to 4 do
+      for c = 0 to 4 do
+        check "assoc add" true (Gf.add f (Gf.add f a b) c = Gf.add f a (Gf.add f b c));
+        check "assoc mul" true (Gf.mul f (Gf.mul f a b) c = Gf.mul f a (Gf.mul f b c));
+        check "distrib" true
+          (Gf.mul f a (Gf.add f b c) = Gf.add f (Gf.mul f a b) (Gf.mul f a c))
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Poly *)
+
+let test_poly_eval () =
+  let f = Gf.make 7 in
+  (* p(x) = 3 + 2x + x^2 *)
+  let p = [| 3; 2; 1 |] in
+  check_int "p(0)" 3 (Poly.eval f p 0);
+  check_int "p(1)" 6 (Poly.eval f p 1);
+  check_int "p(2)" (11 mod 7) (Poly.eval f p 2);
+  check_int "degree" 2 (Poly.degree f p);
+  check_int "degree of zero" (-1) (Poly.degree f [| 0; 0 |]);
+  check_int "degree trailing zeros" 1 (Poly.degree f [| 1; 2; 0; 7 |])
+
+let test_poly_ops () =
+  let f = Gf.make 5 in
+  let a = [| 1; 2 |] and b = [| 3; 4; 1 |] in
+  check "add" true (Poly.equal f (Poly.add f a b) [| 4; 1; 1 |]);
+  check "sub roundtrip" true (Poly.equal f (Poly.sub f (Poly.add f a b) b) a);
+  (* (1+2x)(3+4x+x^2) = 3 + 10x + 9x^2 + 2x^3 = 3 + 0x + 4x^2 + 2x^3 mod 5 *)
+  check "mul" true (Poly.equal f (Poly.mul f a b) [| 3; 0; 4; 2 |]);
+  check "scale" true (Poly.equal f (Poly.scale f 2 a) [| 2; 4 |])
+
+let test_poly_roots () =
+  let f = Gf.make 5 in
+  (* (x-1)(x-2) = x^2 - 3x + 2 = 2 + 2x + x^2 mod 5 *)
+  Alcotest.(check (list int)) "roots" [ 1; 2 ] (Poly.roots f [| 2; 2; 1 |])
+
+let test_poly_root_count_bound () =
+  (* A nonzero polynomial of degree d over GF(p) has at most d roots — the
+     fact the RS distance proof rests on. *)
+  let f = Gf.make 11 in
+  let rng = Stdx.Prng.create 4 in
+  for _ = 1 to 50 do
+    let d = 1 + Stdx.Prng.int rng 4 in
+    let p = Array.init (d + 1) (fun i -> if i = d then 1 + Stdx.Prng.int rng 10 else Stdx.Prng.int rng 11) in
+    check "root bound" true (List.length (Poly.roots f p) <= d)
+  done
+
+let test_poly_interpolate () =
+  let f = Gf.make 7 in
+  let pts = [ (0, 3); (1, 6); (2, 4) ] in
+  let p = Poly.interpolate f pts in
+  List.iter (fun (x, y) -> check_int (Printf.sprintf "p(%d)" x) y (Poly.eval f p x)) pts;
+  check "degree < points" true (Poly.degree f p < 3);
+  Alcotest.check_raises "dup x" (Invalid_argument "Poly.interpolate: duplicate x values")
+    (fun () -> ignore (Poly.interpolate f [ (1, 2); (1, 3) ]))
+
+let prop_interpolate_eval_roundtrip =
+  QCheck.Test.make ~name:"interpolation reproduces polynomial" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Stdx.Prng.create seed in
+      let f = Gf.make 13 in
+      let deg = Stdx.Prng.int rng 5 in
+      let p = Array.init (deg + 1) (fun _ -> Stdx.Prng.int rng 13) in
+      let pts = List.init (deg + 2) (fun x -> (x, Poly.eval f p x)) in
+      let q = Poly.interpolate f pts in
+      Poly.equal f p q || Poly.degree f p < 0 && Poly.degree f q < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Reed-Solomon *)
+
+let test_rs_params_checked () =
+  Alcotest.check_raises "m > p" (Invalid_argument "Reed_solomon.make: need 1 <= l <= m <= p")
+    (fun () -> ignore (RS.make ~p:5 ~l:2 ~m:6));
+  Alcotest.check_raises "l > m" (Invalid_argument "Reed_solomon.make: need 1 <= l <= m <= p")
+    (fun () -> ignore (RS.make ~p:7 ~l:4 ~m:3));
+  Alcotest.check_raises "p not prime" (Invalid_argument "Reed_solomon.make: p must be prime")
+    (fun () -> ignore (RS.make ~p:9 ~l:1 ~m:3))
+
+let test_rs_encode_shape () =
+  let c = RS.make ~p:7 ~l:2 ~m:5 in
+  check_int "l" 2 c.CM.l;
+  check_int "m" 5 c.CM.m;
+  check_int "d" 4 c.CM.d;
+  check_int "q" 7 c.CM.q;
+  let w = c.CM.encode [| 3; 1 |] in
+  check_int "codeword length" 5 (Array.length w);
+  (* message (3,1) is 3 + x: evaluations 3,4,5,6,0 mod 7 *)
+  Alcotest.(check (array int)) "evaluations" [| 3; 4; 5; 6; 0 |] w
+
+let test_rs_distance_exhaustive () =
+  (* All pairs of messages over a small code: distance >= m - l + 1. *)
+  let c = RS.make ~p:5 ~l:2 ~m:4 in
+  (match CM.verify c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* also check the sharper d = m - l + 1 on a sample *)
+  let w1 = CM.encode_index c 0 and w2 = CM.encode_index c 1 in
+  check "distance >= 3" true (CM.distance w1 w2 >= 3)
+
+let test_rs_figure_code () =
+  (* The figures' parameters: alpha=1, ell=2 -> code (1, 3, 2, Sigma) over
+     GF(3).  Verify all pairs exhaustively. *)
+  let c = RS.make ~p:3 ~l:1 ~m:3 in
+  (match CM.verify c with Ok () -> () | Error e -> Alcotest.fail e);
+  check_int "messages" 3 (CM.message_count c)
+
+let test_rs_decode_roundtrip () =
+  let c = RS.make ~p:11 ~l:3 ~m:7 in
+  for i = 0 to 30 do
+    let msg = CM.message_of_index c (i * 37 mod CM.message_count c) in
+    let w = c.CM.encode msg in
+    match RS.decode_unique ~p:11 ~l:3 w with
+    | Some msg' -> Alcotest.(check (array int)) "roundtrip" msg msg'
+    | None -> Alcotest.fail "decode failed on valid codeword"
+  done
+
+let test_rs_decode_rejects_corrupt () =
+  let c = RS.make ~p:11 ~l:2 ~m:8 in
+  let w = CM.encode_index c 5 in
+  w.(7) <- (w.(7) + 1) mod 11;
+  check "corrupt rejected" true (RS.decode_unique ~p:11 ~l:2 w = None)
+
+let test_rs_bad_message () =
+  let c = RS.make ~p:5 ~l:2 ~m:4 in
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Reed_solomon.encode: bad message length") (fun () ->
+      ignore (c.CM.encode [| 1 |]));
+  Alcotest.check_raises "symbol range"
+    (Invalid_argument "Reed_solomon.encode: symbol out of alphabet") (fun () ->
+      ignore (c.CM.encode [| 1; 9 |]))
+
+let prop_rs_distance_sampled =
+  QCheck.Test.make ~name:"RS distance >= d on random pairs" ~count:100
+    QCheck.(pair small_int small_int) (fun (i, j) ->
+      let c = RS.make ~p:13 ~l:3 ~m:9 in
+      let total = CM.message_count c in
+      let i = i mod total and j = j mod total in
+      i = j
+      || CM.distance (CM.encode_index c i) (CM.encode_index c j) >= c.CM.d)
+
+(* ------------------------------------------------------------------ *)
+(* Code_mapping generics *)
+
+let test_distance_function () =
+  check_int "zero" 0 (CM.distance [| 1; 2 |] [| 1; 2 |]);
+  check_int "all" 2 (CM.distance [| 1; 2 |] [| 2; 1 |]);
+  Alcotest.check_raises "length" (Invalid_argument "Code_mapping.distance: length mismatch")
+    (fun () -> ignore (CM.distance [| 1 |] [| 1; 2 |]))
+
+let test_message_indexing () =
+  let c = RS.make ~p:5 ~l:2 ~m:4 in
+  Alcotest.(check (array int)) "index 0" [| 0; 0 |] (CM.message_of_index c 0);
+  Alcotest.(check (array int)) "index 1" [| 1; 0 |] (CM.message_of_index c 1);
+  Alcotest.(check (array int)) "index 5" [| 0; 1 |] (CM.message_of_index c 5);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Code_mapping.message_of_index: 25 out of [0,25)")
+    (fun () -> ignore (CM.message_of_index c 25))
+
+let test_repetition_negative_control () =
+  (* The repetition mapping is a *bad* code: it records only the weak
+     distance ceil(m/l), and the verifier confirms it fails the RS-level
+     requirement when asked for more. *)
+  let c = CM.repetition ~q:4 ~l:2 ~m:6 in
+  check_int "weak d" 3 c.CM.d;
+  (match CM.verify c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("repetition fails its own (weak) d: " ^ e));
+  (* Now lie about the distance and watch verification fail. *)
+  let liar = { c with CM.d = 6 } in
+  check "verifier catches liar" true (match CM.verify liar with Error _ -> true | Ok () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Code_params *)
+
+let test_code_params_figure () =
+  let p = CP.make ~alpha:1 ~ell:2 in
+  check_int "k" 3 p.CP.k;
+  check_int "positions" 3 p.CP.positions;
+  check_int "q" 3 p.CP.q;
+  check "exact alphabet" true (CP.exact_alphabet p);
+  (* codewords pairwise distance >= ell *)
+  for m1 = 0 to 2 do
+    for m2 = m1 + 1 to 2 do
+      check "distance" true
+        (CM.distance (CP.codeword p m1) (CP.codeword p m2) >= p.CP.ell)
+    done
+  done
+
+let test_code_params_padded_alphabet () =
+  (* ell=4, alpha=2: positions=6, q=7 (padded). *)
+  let p = CP.make ~alpha:2 ~ell:4 in
+  check_int "positions" 6 p.CP.positions;
+  check_int "q" 7 p.CP.q;
+  check "padded" false (CP.exact_alphabet p);
+  check_int "k" 36 p.CP.k;
+  (* symbols stay within [0, q) *)
+  for m = 0 to p.CP.k - 1 do
+    Array.iter (fun s -> check "symbol range" true (s >= 0 && s < p.CP.q)) (CP.codeword p m)
+  done
+
+let test_code_params_validation () =
+  Alcotest.check_raises "alpha 0" (Invalid_argument "Code_params.make: alpha must be >= 1")
+    (fun () -> ignore (CP.make ~alpha:0 ~ell:2));
+  Alcotest.check_raises "ell 0" (Invalid_argument "Code_params.make: ell must be >= 1")
+    (fun () -> ignore (CP.make ~alpha:1 ~ell:0));
+  Alcotest.check_raises "codeword range"
+    (Invalid_argument "Code_params.codeword: 3 out of [0,3)") (fun () ->
+      ignore (CP.codeword (CP.make ~alpha:1 ~ell:2) 3))
+
+let test_paper_regime () =
+  let p = CP.paper_regime ~k:256 in
+  (* log k = 8, log log k = 3 -> alpha ~ 8/3 ~ 3, ell ~ 8 - 8/3 ~ 5 *)
+  check "alpha sane" true (p.CP.alpha >= 1 && p.CP.alpha <= 4);
+  check "ell sane" true (p.CP.ell >= 3);
+  check "k realized" true (p.CP.k = Stdx.Mathx.pow p.CP.positions p.CP.alpha)
+
+let prop_code_params_distance =
+  QCheck.Test.make ~name:"code params distance >= ell (sampled)" ~count:30
+    QCheck.(pair small_int small_int) (fun (e, a) ->
+      let ell = 1 + (e mod 6) and alpha = 1 + (a mod 2) in
+      let p = CP.make ~alpha ~ell in
+      let rng = Stdx.Prng.create (e + (100 * a)) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let m1 = Stdx.Prng.int rng p.CP.k and m2 = Stdx.Prng.int rng p.CP.k in
+        if m1 <> m2 then
+          if CM.distance (CP.codeword p m1) (CP.codeword p m2) < ell then
+            ok := false
+      done;
+      !ok)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "codes"
+    [
+      ( "gf",
+        [
+          Alcotest.test_case "requires prime" `Quick test_gf_requires_prime;
+          Alcotest.test_case "arithmetic" `Quick test_gf_arithmetic;
+          Alcotest.test_case "inverse" `Quick test_gf_inverse;
+          Alcotest.test_case "field axioms GF(5)" `Quick test_gf_field_axioms_small;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "eval/degree" `Quick test_poly_eval;
+          Alcotest.test_case "ops" `Quick test_poly_ops;
+          Alcotest.test_case "roots" `Quick test_poly_roots;
+          Alcotest.test_case "root count bound" `Quick test_poly_root_count_bound;
+          Alcotest.test_case "interpolate" `Quick test_poly_interpolate;
+        ] );
+      qsuite "poly-props" [ prop_interpolate_eval_roundtrip ];
+      ( "reed-solomon",
+        [
+          Alcotest.test_case "params checked" `Quick test_rs_params_checked;
+          Alcotest.test_case "encode shape" `Quick test_rs_encode_shape;
+          Alcotest.test_case "distance exhaustive" `Quick test_rs_distance_exhaustive;
+          Alcotest.test_case "figure code" `Quick test_rs_figure_code;
+          Alcotest.test_case "decode roundtrip" `Quick test_rs_decode_roundtrip;
+          Alcotest.test_case "decode rejects corrupt" `Quick test_rs_decode_rejects_corrupt;
+          Alcotest.test_case "bad message" `Quick test_rs_bad_message;
+        ] );
+      qsuite "rs-props" [ prop_rs_distance_sampled ];
+      ( "code-mapping",
+        [
+          Alcotest.test_case "distance" `Quick test_distance_function;
+          Alcotest.test_case "message indexing" `Quick test_message_indexing;
+          Alcotest.test_case "repetition negative control" `Quick
+            test_repetition_negative_control;
+        ] );
+      ( "code-params",
+        [
+          Alcotest.test_case "figure parameters" `Quick test_code_params_figure;
+          Alcotest.test_case "padded alphabet" `Quick test_code_params_padded_alphabet;
+          Alcotest.test_case "validation" `Quick test_code_params_validation;
+          Alcotest.test_case "paper regime" `Quick test_paper_regime;
+        ] );
+      qsuite "code-params-props" [ prop_code_params_distance ];
+    ]

@@ -1,0 +1,191 @@
+(* Cross-layer integration tests: the full pipelines a user of the library
+   would run, exercised end to end.
+
+   Pipeline A (Theorem 1): inputs -> linear family instance -> exact MaxIS
+   -> gap predicate -> disjointness answer; simultaneously, the same
+   instance through the CONGEST simulation with blackboard accounting.
+
+   Pipeline B (Theorem 2): the quadratic analogue.
+
+   Pipeline C (Remark 1): unweighted transform of a hard instance, gap
+   surviving.
+
+   Pipeline D: CONGEST upper-bound algorithms (Luby, greedy) on hard
+   instances — how real algorithms score against OPT. *)
+
+module P = Maxis_core.Params
+module LF = Maxis_core.Linear_family
+module QF = Maxis_core.Quadratic_family
+module Family = Maxis_core.Family
+module Simulation = Maxis_core.Simulation
+module Inputs = Commcx.Inputs
+module Runtime = Congest.Runtime
+module Graph = Wgraph.Graph
+module Bitset = Stdx.Bitset
+module Prng = Stdx.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let p2 = P.make ~alpha:1 ~ell:4 ~players:2
+let p3 = P.make ~alpha:1 ~ell:4 ~players:3
+
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_linear_full () =
+  let rng = Prng.create 42 in
+  for trial = 0 to 3 do
+    let intersecting = trial mod 2 = 0 in
+    let x = Inputs.gen_promise rng ~k:(P.k p3) ~t:3 ~intersecting in
+    let spec = LF.spec p3 in
+    (* Condition 2 end to end *)
+    let r2 = Family.check_condition2 spec x in
+    check "condition 2" true r2.Family.ok;
+    (* Condition 1 via a perturbed input *)
+    let x' =
+      let strings =
+        List.init 3 (fun i -> Bitset.copy (Inputs.string_of_player x i))
+      in
+      let s1 = List.nth strings 1 in
+      (* flip a bit of player 1 *)
+      if Bitset.mem s1 0 then Bitset.remove s1 0 else Bitset.add s1 0;
+      Inputs.make ~k:(P.k p3) strings
+    in
+    let r1 = Family.check_condition1 spec x x' ~player:1 in
+    check "condition 1" true r1.Family.ok;
+    (* CONGEST simulation decides the same answer *)
+    let inst = spec.Family.build x in
+    let d = Simulation.decide_disjointness inst ~predicate:spec.Family.predicate in
+    Alcotest.(check (option bool)) "simulation agrees" (Some r2.Family.expected)
+      d.Simulation.answer;
+    check "within Theorem-5 bound" true d.Simulation.report.Simulation.within_bound
+  done
+
+let test_pipeline_quadratic_empirical () =
+  (* At test-scale parameters the formal claim bounds don't separate, so
+     the integration check is empirical: intersecting OPT > disjoint OPT,
+     both sides of Claims 6/7 hold, and the instance structure is sound. *)
+  let p = P.make ~alpha:1 ~ell:3 ~players:2 in
+  let rng = Prng.create 7 in
+  let sl = QF.string_length p in
+  let xi = Inputs.gen_promise rng ~k:sl ~t:2 ~intersecting:true in
+  let xd = Inputs.gen_promise rng ~k:sl ~t:2 ~intersecting:false in
+  let ii = QF.instance p xi and id_ = QF.instance p xd in
+  let oi = Mis.Exact.opt ii.Family.graph and od = Mis.Exact.opt id_.Family.graph in
+  check "claim 6" true (oi >= QF.high_weight p);
+  check "claim 7" true (od <= QF.low_weight p);
+  check "empirical gap" true (oi > od);
+  check_int "cut fixed" (QF.expected_cut_size p) (Family.cut_size ii)
+
+let test_pipeline_unweighted () =
+  let rng = Prng.create 17 in
+  let x = Inputs.gen_promise rng ~k:(P.k p2) ~t:2 ~intersecting:true in
+  let inst = LF.instance p2 x in
+  let t = Maxis_core.Unweighted.transform_instance inst in
+  (* The transformed instance classifies the same way. *)
+  let pred = LF.predicate p2 in
+  let opt_w = Mis.Exact.opt inst.Family.graph in
+  let opt_u = Mis.Exact.opt t.Maxis_core.Unweighted.graph in
+  check_int "OPT preserved" opt_w opt_u;
+  check "classification preserved" true
+    (Maxis_core.Predicate.classify pred opt_w
+    = Maxis_core.Predicate.classify pred opt_u);
+  (* and the unweighted graph is genuinely unweighted *)
+  check_int "all unit" (Graph.n t.Maxis_core.Unweighted.graph)
+    (Graph.total_weight t.Maxis_core.Unweighted.graph)
+
+let test_congest_algorithms_on_hard_instance () =
+  (* Run the paper's "fast upper bound" algorithms on a hard instance and
+     verify they produce valid independent sets scoring below OPT (that gap
+     being unavoidable is the whole point of the paper). *)
+  let rng = Prng.create 23 in
+  let x = Inputs.gen_promise rng ~k:(P.k p3) ~t:3 ~intersecting:true in
+  let inst = LF.instance p3 x in
+  let g = inst.Family.graph in
+  let opt = Mis.Exact.opt g in
+  let run_and_score program =
+    let result = Runtime.run program g in
+    let s = Bitset.create (Graph.n g) in
+    Array.iteri
+      (fun v o -> if o = Some true then Bitset.add s v)
+      result.Runtime.outputs;
+    check "valid IS" true (Wgraph.Check.is_independent g s);
+    Graph.set_weight_of g s
+  in
+  let luby = run_and_score Congest.Algo_luby.mis in
+  let greedy = run_and_score Congest.Algo_greedy_mis.mis in
+  check "luby <= opt" true (luby <= opt);
+  check "greedy <= opt" true (greedy <= opt);
+  check "greedy does something" true (greedy > 0)
+
+let test_hardness_amplification_trend () =
+  (* Lemma 2's story: as t grows, the worst-case ratio low/high falls
+     towards 1/2 — provided ell >> alpha t^2, the paper's regime (there
+     ell ~ log k dwarfs the constant t).  We scale ell = 4t^2. *)
+  let ratio t =
+    let p = P.make ~alpha:1 ~ell:(4 * t * t) ~players:t in
+    float_of_int (LF.low_weight p) /. float_of_int (LF.high_weight p)
+  in
+  let r2 = ratio 2 and r4 = ratio 4 and r8 = ratio 8 in
+  check "decreasing" true (r2 > r4 && r4 > r8);
+  check "approaching 1/2" true (r8 < 0.65)
+
+let test_cc_to_rounds_consistency () =
+  (* Corollary 1 backwards: measured blackboard bits of a real T-round run
+     imply a lower bound on T given the cut — the inferred T must not
+     exceed the actual T. *)
+  let rng = Prng.create 29 in
+  let x = Inputs.gen_promise rng ~k:(P.k p2) ~t:2 ~intersecting:false in
+  let inst = LF.instance p2 x in
+  let m = Graph.edge_count inst.Family.graph in
+  let result, report =
+    Simulation.simulate (Congest.Algo_gather.exact_maxis ~m) inst
+  in
+  let inferred_rounds =
+    float_of_int report.Simulation.blackboard_bits
+    /. float_of_int (2 * report.Simulation.cut_size * report.Simulation.bandwidth)
+  in
+  check "inferred <= actual" true
+    (inferred_rounds <= float_of_int result.Runtime.rounds_executed +. 1e-9)
+
+let test_full_paper_story_in_one () =
+  (* One assertion chaining every theorem-level artifact at k=5, t=3. *)
+  let p = p3 in
+  (* 1. The code exists and has the right distance. *)
+  (match Codes.Code_mapping.verify p.P.cp.Codes.Code_params.code with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* 2. Properties hold. *)
+  List.iter
+    (fun (r : Maxis_core.Properties.result) ->
+      check r.Maxis_core.Properties.name true r.Maxis_core.Properties.holds)
+    (Maxis_core.Properties.check_all_property1 p);
+  (* 3. The family satisfies Definition 4 on a sampled input. *)
+  let rng = Prng.create 31 in
+  let x = Inputs.gen_promise rng ~k:(P.k p) ~t:3 ~intersecting:true in
+  let spec = LF.spec p in
+  check "condition 2" true (Family.check_condition2 spec x).Family.ok;
+  (* 4. Corollary 1's arithmetic emits a positive round bound. *)
+  let r = Maxis_core.Theorems.linear p in
+  check "bound positive" true (r.Maxis_core.Theorems.rounds_lower_bound > 0.0);
+  (* 5. And it beats the Bachrach baseline shape at this n. *)
+  let n = float_of_int r.Maxis_core.Theorems.n in
+  check "beats baseline" true
+    (Maxis_core.Bachrach_baseline.this_paper_linear.Maxis_core.Bachrach_baseline.rounds ~n
+    > Maxis_core.Bachrach_baseline.bachrach_linear.Maxis_core.Bachrach_baseline.rounds ~n)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "linear full" `Slow test_pipeline_linear_full;
+          Alcotest.test_case "quadratic empirical" `Quick test_pipeline_quadratic_empirical;
+          Alcotest.test_case "unweighted" `Quick test_pipeline_unweighted;
+          Alcotest.test_case "upper-bound algorithms" `Quick
+            test_congest_algorithms_on_hard_instance;
+          Alcotest.test_case "amplification trend" `Quick test_hardness_amplification_trend;
+          Alcotest.test_case "cc-to-rounds consistency" `Quick test_cc_to_rounds_consistency;
+          Alcotest.test_case "whole story" `Quick test_full_paper_story_in_one;
+        ] );
+    ]

@@ -1,0 +1,380 @@
+(* Tests for the Theorem 1/2 bound calculators, the Bachrach-et-al.
+   baseline comparison, the Limitations (1/t-approximation) protocol, and
+   the Predicate module. *)
+
+module P = Maxis_core.Params
+module LF = Maxis_core.Linear_family
+module QF = Maxis_core.Quadratic_family
+module Theorems = Maxis_core.Theorems
+module Baseline = Maxis_core.Bachrach_baseline
+module Limitations = Maxis_core.Limitations
+module Predicate = Maxis_core.Predicate
+module Prng = Stdx.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let p3 = P.make ~alpha:1 ~ell:4 ~players:3
+
+(* ------------------------------------------------------------------ *)
+(* Predicate *)
+
+let test_predicate_classify () =
+  let p = Predicate.make ~name:"x" ~high:10 ~low:7 in
+  check "high" true (Predicate.classify p 10 = `High);
+  check "higher" true (Predicate.classify p 15 = `High);
+  check "low" true (Predicate.classify p 7 = `Low);
+  check "lower" true (Predicate.classify p 0 = `Low);
+  check "gap violation" true (Predicate.classify p 8 = `Gap_violation);
+  check_float "gamma" 0.7 (Predicate.gamma p);
+  Alcotest.(check (option bool)) "low -> TRUE" (Some true) (Predicate.decides_to p 5);
+  Alcotest.(check (option bool)) "high -> FALSE" (Some false) (Predicate.decides_to p 12);
+  Alcotest.(check (option bool)) "violation -> None" None (Predicate.decides_to p 8)
+
+let test_predicate_validation () =
+  Alcotest.check_raises "low >= high"
+    (Invalid_argument "Predicate.make: need 0 <= low < high (got 5, 5)")
+    (fun () -> ignore (Predicate.make ~name:"x" ~high:5 ~low:5))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem reports *)
+
+let test_linear_report_fields () =
+  let r = Theorems.linear p3 in
+  check_int "k" (P.k p3) r.Theorems.k;
+  check_int "strings = k" (P.k p3) r.Theorems.string_length;
+  check_int "t" 3 r.Theorems.t;
+  check_int "n" (LF.n_nodes p3) r.Theorems.n;
+  check_int "cut measured" (LF.expected_cut_size p3) r.Theorems.cut;
+  check "positive bound" true (r.Theorems.rounds_lower_bound > 0.0);
+  (* rounds = cc / (2 cut log n) *)
+  check_float "formula"
+    (r.Theorems.cc_bits /. (2.0 *. float_of_int r.Theorems.cut *. r.Theorems.log_n))
+    r.Theorems.rounds_lower_bound
+
+let test_quadratic_report_fields () =
+  let r = Theorems.quadratic p3 in
+  check_int "strings = k^2" (P.k p3 * P.k p3) r.Theorems.string_length;
+  check_int "n doubled" (QF.n_nodes p3) r.Theorems.n;
+  check_int "cut doubled" (QF.expected_cut_size p3) r.Theorems.cut;
+  (* the quadratic bound at the same params dwarfs the linear one once k
+     grows; at least it is never smaller here *)
+  let lin = Theorems.linear p3 in
+  check "quadratic >= linear shape" true (r.Theorems.shape >= lin.Theorems.shape)
+
+let test_shapes () =
+  check_float "linear shape" (1024.0 /. 1000.0) (Theorems.linear_shape ~n:1024.0);
+  check_float "quadratic shape" (1024.0 *. 1024.0 /. 1000.0)
+    (Theorems.quadratic_shape ~n:1024.0);
+  (* monotone growth *)
+  check "monotone" true
+    (Theorems.linear_shape ~n:10000.0 > Theorems.linear_shape ~n:1000.0)
+
+let test_bound_grows_with_k () =
+  (* The bound only grows when alpha grows with k — exactly why the paper
+     sets alpha ~ log k / log log k.  (With alpha fixed at 1, k = ell+1
+     grows linearly while the cut grows cubically and the bound *shrinks*;
+     that regime is tested nowhere near tight.)  Sweep the paper-style
+     direction: alpha and ell both increasing. *)
+  let bounds =
+    List.map
+      (fun (alpha, ell) ->
+        (Theorems.linear (P.make ~alpha ~ell ~players:3)).Theorems.rounds_lower_bound)
+      [ (1, 4); (2, 4); (3, 5); (4, 6) ]
+  in
+  let rec increasing = function
+    | a :: b :: rest -> a < b && increasing (b :: rest)
+    | _ -> true
+  in
+  check "increasing in ell" true (increasing bounds)
+
+let test_epsilon_statements () =
+  let s1 = Theorems.theorem1_statement ~epsilon:0.25 in
+  check_int "t = 8" 8 s1.Theorems.players_used;
+  check_float "ratio" 0.75 s1.Theorems.defeated_ratio;
+  (* n / (t log t log^3 n) at n = 1024: 1024 / (8*3*1000) *)
+  check_float "rounds" (1024.0 /. 24000.0) (s1.Theorems.rounds_at ~n:1024.0);
+  let s2 = Theorems.theorem2_statement ~epsilon:0.125 in
+  check_int "t = 5" 5 s2.Theorems.players_used;
+  check_float "ratio" 0.875 s2.Theorems.defeated_ratio;
+  (* doubling n multiplies n^2 by 4 and log^3 n by (11/10)^3: net x3.005 *)
+  check "quadratic in n" true
+    (s2.Theorems.rounds_at ~n:2048.0 > 2.9 *. s2.Theorems.rounds_at ~n:1024.0);
+  Alcotest.check_raises "eps range"
+    (Invalid_argument "Theorems.theorem1_statement: need 0 < epsilon < 1/2")
+    (fun () -> ignore (Theorems.theorem1_statement ~epsilon:0.5))
+
+let test_epsilon_tradeoff () =
+  (* Smaller eps -> harder ratio but weaker constant (more players). *)
+  let tight = Theorems.theorem1_statement ~epsilon:0.01 in
+  let loose = Theorems.theorem1_statement ~epsilon:0.4 in
+  check "harder ratio" true
+    (tight.Theorems.defeated_ratio < loose.Theorems.defeated_ratio);
+  check "weaker constant" true
+    (tight.Theorems.rounds_at ~n:65536.0 < loose.Theorems.rounds_at ~n:65536.0)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison *)
+
+let test_baseline_entries () =
+  check_int "five entries" 5 (List.length Baseline.all);
+  check_float "bachrach linear ratio" (5.0 /. 6.0) Baseline.bachrach_linear.Baseline.ratio;
+  check_float "this paper linear ratio" 0.5 Baseline.this_paper_linear.Baseline.ratio;
+  check_float "this paper quadratic ratio" 0.75 Baseline.this_paper_quadratic.Baseline.ratio
+
+let test_improvement_over_bachrach () =
+  (* This paper's bounds are stronger at every realistic n: log^3 factor
+     saved in rounds, and strictly smaller defeated ratio. *)
+  List.iter
+    (fun n ->
+      check "linear rounds stronger" true
+        (Baseline.improvement_factor ~old_bound:Baseline.bachrach_linear
+           ~new_bound:Baseline.this_paper_linear ~n
+        > 1.0);
+      check "quadratic rounds stronger" true
+        (Baseline.improvement_factor ~old_bound:Baseline.bachrach_quadratic
+           ~new_bound:Baseline.this_paper_quadratic ~n
+        > 1.0))
+    [ 1024.0; 1048576.0 ];
+  check "harder ratio (linear)" true
+    (Baseline.this_paper_linear.Baseline.ratio < Baseline.bachrach_linear.Baseline.ratio);
+  check "harder ratio (quadratic)" true
+    (Baseline.this_paper_quadratic.Baseline.ratio
+    < Baseline.bachrach_quadratic.Baseline.ratio)
+
+let test_improvement_factor_value () =
+  (* linear improvement = log^3 n exactly *)
+  let n = 1024.0 in
+  check_float "log^3" 1000.0
+    (Baseline.improvement_factor ~old_bound:Baseline.bachrach_linear
+       ~new_bound:Baseline.this_paper_linear ~n)
+
+(* ------------------------------------------------------------------ *)
+(* Regime *)
+
+module Regime = Maxis_core.Regime
+
+let test_regime_consistency () =
+  let r = Regime.at ~target_k:65536 ~players:3 in
+  let p = r.Regime.params in
+  check_int "realized = (l+a)^a" r.Regime.realized_k
+    (Stdx.Mathx.pow (P.positions p) (P.alpha p));
+  check "ratio positive" true (r.Regime.k_ratio > 0.0);
+  check "padding small" true (r.Regime.prime_padding >= 0 && r.Regime.prime_padding < 10);
+  check_int "nodes formula" (Maxis_core.Linear_family.n_nodes p) (Regime.nodes_linear r);
+  check_int "nodes quadratic" (2 * Maxis_core.Linear_family.n_nodes p)
+    (Regime.nodes_quadratic r)
+
+let test_regime_alpha_grows () =
+  let alpha_at k = P.alpha (Regime.at ~target_k:k ~players:2).Regime.params in
+  check "alpha grows with k" true
+    (alpha_at 16 <= alpha_at 65536 && alpha_at 65536 <= alpha_at 1073741824);
+  check "alpha nontrivial at large k" true (alpha_at 1073741824 >= 4)
+
+let test_regime_validation () =
+  Alcotest.check_raises "k too small"
+    (Invalid_argument "Code_params.paper_regime: k must be >= 2") (fun () ->
+      ignore (Regime.at ~target_k:1 ~players:2))
+
+(* ------------------------------------------------------------------ *)
+(* Two-party framework (the paper's baseline framework) *)
+
+module Two_party = Maxis_core.Two_party
+
+let test_two_party_spec_exhaustive () =
+  (* Unlike the promise families, the two-party spec must decide *every*
+     input pair.  Exhaust all 2^k x 2^k subsets at k = 4. *)
+  let p = Two_party.params ~ell:3 in
+  let k = P.k p in
+  Alcotest.(check int) "k" 4 k;
+  let spec = Two_party.spec p in
+  for a = 0 to (1 lsl k) - 1 do
+    for b = 0 to (1 lsl k) - 1 do
+      let bits_of m = List.filter (fun j -> m land (1 lsl j) <> 0) (List.init k Fun.id) in
+      let x = Commcx.Inputs.of_bit_lists ~k [ bits_of a; bits_of b ] in
+      let r = Maxis_core.Family.check_condition2 spec x in
+      if not r.Maxis_core.Family.ok then
+        Alcotest.failf "a=%d b=%d opt=%d expected=%b" a b
+          r.Maxis_core.Family.opt r.Maxis_core.Family.expected
+    done
+  done
+
+let test_two_party_round_bound () =
+  let p = Two_party.params ~ell:4 in
+  let b = Two_party.round_bound p in
+  Alcotest.(check int) "cc = k" (P.k p) (int_of_float b.Two_party.cc_bits);
+  check "positive" true (b.Two_party.rounds_lower_bound > 0.0);
+  check_float "ratio" 0.75 b.Two_party.gamma_defeated;
+  (* The two-party CC (k bits, no t log t loss) beats the t=2 promise-based
+     arithmetic by exactly the factor 2 = t*log t. *)
+  let promise =
+    Commcx.Cc_bounds.eval_bits Commcx.Cc_bounds.promise_pairwise_disjointness
+      ~k:(P.k p) ~t:2
+  in
+  check_float "factor 2" (b.Two_party.cc_bits /. 2.0) promise
+
+let test_two_party_barrier () =
+  check_float "barrier" 0.5 Two_party.barrier_ratio;
+  (* The multi-party Theorem 1 defeats ratios *below* the two-party
+     barrier: that is the paper's headline. *)
+  let s = Theorems.theorem1_statement ~epsilon:0.05 in
+  check "beyond Alice and Bob" true
+    (s.Theorems.defeated_ratio < 0.75
+    && s.Theorems.defeated_ratio > Two_party.barrier_ratio)
+
+let test_two_party_requires_two () =
+  Alcotest.check_raises "three players"
+    (Invalid_argument "Two_party.round_bound: need exactly two players")
+    (fun () ->
+      ignore (Two_party.round_bound (P.make ~alpha:1 ~ell:4 ~players:3)))
+
+(* ------------------------------------------------------------------ *)
+(* Limitations: the 1/t floor *)
+
+let instance seed p ~intersecting =
+  let rng = Prng.create seed in
+  let x = Commcx.Inputs.gen_promise rng ~k:(P.k p) ~t:p.P.players ~intersecting in
+  LF.instance p x
+
+let test_limitations_ratio_floor () =
+  List.iter
+    (fun (p, seed, inter) ->
+      let inst = instance seed p ~intersecting:inter in
+      let r = Limitations.run inst in
+      let floor = 1.0 /. float_of_int r.Limitations.players in
+      check
+        (Printf.sprintf "ratio %.3f >= 1/t %.3f" r.Limitations.ratio floor)
+        true
+        (r.Limitations.ratio >= floor -. 1e-9))
+    [
+      (P.make ~alpha:1 ~ell:4 ~players:2, 3, true);
+      (P.make ~alpha:1 ~ell:4 ~players:2, 4, false);
+      (p3, 5, true);
+      (p3, 6, false);
+      (P.make ~alpha:1 ~ell:5 ~players:4, 7, false);
+    ]
+
+let test_limitations_cheap () =
+  (* O(t log W) bits: tiny compared to the k-ish cost the reduction needs. *)
+  let inst = instance 9 p3 ~intersecting:false in
+  let r = Limitations.run inst in
+  check "few bits" true (r.Limitations.bits <= 3 * 16);
+  check_int "t values" 3 (Array.length r.Limitations.local_opts)
+
+let test_limitations_local_opts_valid () =
+  let inst = instance 11 p3 ~intersecting:true in
+  let r = Limitations.run inst in
+  Array.iter
+    (fun v -> check "local <= global" true (v <= r.Limitations.global_opt))
+    r.Limitations.local_opts;
+  check_int "best is max" (Array.fold_left max 0 r.Limitations.local_opts)
+    r.Limitations.best_local
+
+let test_limitations_as_protocol () =
+  let p = p3 in
+  let spec = LF.spec p in
+  let proto = Limitations.as_protocol spec in
+  let rng = Prng.create 13 in
+  let x = Commcx.Inputs.gen_promise rng ~k:(P.k p) ~t:3 ~intersecting:true in
+  let o = Commcx.Protocol.execute proto x in
+  check "writes t values" true (o.Commcx.Protocol.writes = 3);
+  (* t values of <= 16 bits each: logarithmic in the total weight, versus
+     the Omega(k/t log t) the reduction forces for exact answers. *)
+  check "cheap" true (o.Commcx.Protocol.bits <= 3 * 16)
+
+let prop_limitations_floor_random =
+  QCheck.Test.make ~name:"1/t floor on random instances" ~count:10
+    QCheck.(pair small_int bool) (fun (seed, inter) ->
+      let inst = instance seed p3 ~intersecting:inter in
+      let r = Limitations.run inst in
+      r.Limitations.ratio >= (1.0 /. 3.0) -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Verification auditor *)
+
+module Verification = Maxis_core.Verification
+
+let test_verification_all_ok () =
+  let p = P.make ~alpha:1 ~ell:4 ~players:2 in
+  let items = Verification.run ~seed:7 ~samples:2 p in
+  check "all ok" true (Verification.all_ok items);
+  (* the audit is substantial: code + properties + claims + conditions +
+     both reductions *)
+  check "substantial" true (List.length items >= 15);
+  (* t = 2 also runs the warm-up claims *)
+  check "warm-up claims present" true
+    (List.exists (fun i -> i.Verification.name = "Claim 1") items)
+
+let test_verification_skips_invalid_gap () =
+  (* Figure parameters at t = 3: no formal gap, so conditions/reduction
+     are skipped with an explanatory item, and nothing fails. *)
+  let p = P.figure_params ~players:3 in
+  let items = Verification.run ~seed:7 ~samples:1 p in
+  check "all ok" true (Verification.all_ok items);
+  check "skip recorded" true
+    (List.exists
+       (fun i ->
+         i.Verification.name = "Definition 4, conditions + reduction")
+       items)
+
+let test_verification_deterministic () =
+  let p = P.make ~alpha:1 ~ell:4 ~players:3 in
+  let a = Verification.run ~seed:11 ~samples:1 p in
+  let b = Verification.run ~seed:11 ~samples:1 p in
+  check "same audit" true (a = b)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "theorems"
+    [
+      ( "predicate",
+        [
+          Alcotest.test_case "classify" `Quick test_predicate_classify;
+          Alcotest.test_case "validation" `Quick test_predicate_validation;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "linear report" `Quick test_linear_report_fields;
+          Alcotest.test_case "quadratic report" `Quick test_quadratic_report_fields;
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "grows with k" `Quick test_bound_grows_with_k;
+          Alcotest.test_case "epsilon statements" `Quick test_epsilon_statements;
+          Alcotest.test_case "epsilon tradeoff" `Quick test_epsilon_tradeoff;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "entries" `Quick test_baseline_entries;
+          Alcotest.test_case "improvement" `Quick test_improvement_over_bachrach;
+          Alcotest.test_case "improvement value" `Quick test_improvement_factor_value;
+        ] );
+      ( "verification",
+        [
+          Alcotest.test_case "all ok" `Quick test_verification_all_ok;
+          Alcotest.test_case "skips invalid gap" `Quick
+            test_verification_skips_invalid_gap;
+          Alcotest.test_case "deterministic" `Quick test_verification_deterministic;
+        ] );
+      ( "regime",
+        [
+          Alcotest.test_case "consistency" `Quick test_regime_consistency;
+          Alcotest.test_case "alpha grows" `Quick test_regime_alpha_grows;
+          Alcotest.test_case "validation" `Quick test_regime_validation;
+        ] );
+      ( "two-party",
+        [
+          Alcotest.test_case "exhaustive decision" `Slow test_two_party_spec_exhaustive;
+          Alcotest.test_case "round bound" `Quick test_two_party_round_bound;
+          Alcotest.test_case "barrier" `Quick test_two_party_barrier;
+          Alcotest.test_case "arity" `Quick test_two_party_requires_two;
+        ] );
+      ( "limitations",
+        [
+          Alcotest.test_case "ratio floor" `Quick test_limitations_ratio_floor;
+          Alcotest.test_case "cheap" `Quick test_limitations_cheap;
+          Alcotest.test_case "local opts valid" `Quick test_limitations_local_opts_valid;
+          Alcotest.test_case "as protocol" `Quick test_limitations_as_protocol;
+        ] );
+      qsuite "limitations-props" [ prop_limitations_floor_random ];
+    ]

@@ -1,0 +1,157 @@
+(* Tests for Remark 1's unweighted transformation. *)
+
+module P = Maxis_core.Params
+module LF = Maxis_core.Linear_family
+module U = Maxis_core.Unweighted
+module Family = Maxis_core.Family
+module Graph = Wgraph.Graph
+module Bitset = Stdx.Bitset
+module Prng = Stdx.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let p2 = P.make ~alpha:1 ~ell:4 ~players:2
+
+let instance seed ~intersecting =
+  let rng = Prng.create seed in
+  let x = Commcx.Inputs.gen_promise rng ~k:(P.k p2) ~t:2 ~intersecting in
+  LF.instance p2 x
+
+(* ------------------------------------------------------------------ *)
+
+let test_transform_sizes () =
+  (* A weight-5 node becomes 5 clones; unit nodes stay single. *)
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  Graph.set_weight g 1 5;
+  let t = U.transform g [| 0; 0; 1 |] in
+  check_int "n" 7 (Graph.n t.U.graph);
+  check_int "clones of 1" 5 (Array.length t.U.clones.(1));
+  check_int "clones of 0" 1 (Array.length t.U.clones.(0));
+  check_int "inflation" 7 (U.inflation g);
+  (* all weights 1 *)
+  check_int "unweighted" (Graph.n t.U.graph) (Graph.total_weight t.U.graph)
+
+let test_transform_edges () =
+  (* unit-heavy edge -> star onto all clones; heavy-heavy -> biclique;
+     clone set internally edgeless. *)
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  Graph.set_weight g 1 3;
+  Graph.set_weight g 2 2;
+  let t = U.transform g [| 0; 0; 0 |] in
+  let c0 = t.U.clones.(0).(0) in
+  Array.iter
+    (fun c1 -> check "0 to every clone of 1" true (Graph.has_edge t.U.graph c0 c1))
+    t.U.clones.(1);
+  Array.iter
+    (fun c1 ->
+      Array.iter
+        (fun c2 -> check "biclique 1x2" true (Graph.has_edge t.U.graph c1 c2))
+        t.U.clones.(2))
+    t.U.clones.(1);
+  (* clone sets are independent *)
+  check "I(1) edgeless" false
+    (Graph.has_edge t.U.graph t.U.clones.(1).(0) t.U.clones.(1).(1));
+  (* no 0-2 edges (none in the original) *)
+  Array.iter
+    (fun c2 -> check "no spurious edge" false (Graph.has_edge t.U.graph c0 c2))
+    t.U.clones.(2)
+
+let test_transform_rejects_zero_weight () =
+  let g = Graph.create 1 in
+  Graph.set_weight g 0 0;
+  Alcotest.check_raises "zero" (Invalid_argument "Unweighted.transform: zero-weight node")
+    (fun () -> ignore (U.transform g [| 0 |]))
+
+let test_opt_preserved_small () =
+  (* Weighted path 1 - 10 - 1: OPT 10; transformed: OPT 10. *)
+  let g = Wgraph.Build.path 3 in
+  Graph.set_weight g 1 10;
+  let t = U.transform g [| 0; 0; 0 |] in
+  check_int "opt preserved" (Mis.Exact.opt g) (Mis.Exact.opt t.U.graph)
+
+let test_opt_preserved_on_instances () =
+  List.iter
+    (fun inter ->
+      let inst = instance 3 ~intersecting:inter in
+      let t = U.transform_instance inst in
+      check_int
+        (Printf.sprintf "opt preserved (inter=%b)" inter)
+        (Mis.Exact.opt inst.Family.graph)
+        (Mis.Exact.opt t.U.graph))
+    [ true; false ]
+
+let test_gap_preserved () =
+  (* The same gap predicate classifies the transformed instances. *)
+  let pred = LF.predicate p2 in
+  let hi = instance 5 ~intersecting:true in
+  let lo = instance 5 ~intersecting:false in
+  let opt_hi = Mis.Exact.opt (U.transform_instance hi).U.graph in
+  let opt_lo = Mis.Exact.opt (U.transform_instance lo).U.graph in
+  check "high side" true (Maxis_core.Predicate.classify pred opt_hi = `High);
+  check "low side" true (Maxis_core.Predicate.classify pred opt_lo = `Low)
+
+let test_partition_inherited () =
+  let inst = instance 7 ~intersecting:true in
+  let t = U.transform_instance inst in
+  Array.iteri
+    (fun c orig ->
+      check_int "owner" inst.Family.partition.(orig) t.U.partition.(c))
+    t.U.origin
+
+let test_inflation_factor () =
+  (* n' = Theta(k * ell) on intersecting instances: total weight counts
+     every heavy node at ell. *)
+  let inst = instance 9 ~intersecting:true in
+  let g = inst.Family.graph in
+  let t = U.transform_instance inst in
+  check_int "n' = total weight" (Graph.total_weight g) (Graph.n t.U.graph);
+  check "strictly larger" true (Graph.n t.U.graph > Graph.n g)
+
+let test_lift_project_roundtrip () =
+  let inst = instance 11 ~intersecting:false in
+  let t = U.transform_instance inst in
+  let sol = Mis.Exact.solve inst.Family.graph in
+  let lifted = U.lift_set t sol.Mis.Exact.set in
+  check "lift independent" true (Wgraph.Check.is_independent t.U.graph lifted);
+  check_int "lift weight = set cardinality" (sol.Mis.Exact.weight) (Bitset.cardinal lifted);
+  let back = U.project_set t lifted in
+  check "roundtrip" true (Bitset.equal back sol.Mis.Exact.set)
+
+let prop_opt_preserved_random_graphs =
+  QCheck.Test.make ~name:"transform preserves OPT on random weighted graphs"
+    ~count:40 QCheck.(pair small_int small_int) (fun (seed, nn) ->
+      let n = 2 + (nn mod 8) in
+      let rng = Prng.create seed in
+      let g = Wgraph.Build.erdos_renyi rng n 0.4 in
+      Wgraph.Build.random_weights rng g 3;
+      let t = U.transform g (Array.make n 0) in
+      Graph.n t.U.graph > 24
+      || Mis.Exact.opt g = fst (Mis.Brute.solve t.U.graph))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "unweighted"
+    [
+      ( "transform",
+        [
+          Alcotest.test_case "sizes" `Quick test_transform_sizes;
+          Alcotest.test_case "edges" `Quick test_transform_edges;
+          Alcotest.test_case "zero weight" `Quick test_transform_rejects_zero_weight;
+          Alcotest.test_case "partition inherited" `Quick test_partition_inherited;
+          Alcotest.test_case "inflation" `Quick test_inflation_factor;
+        ] );
+      ( "opt-preservation",
+        [
+          Alcotest.test_case "small" `Quick test_opt_preserved_small;
+          Alcotest.test_case "instances" `Quick test_opt_preserved_on_instances;
+          Alcotest.test_case "gap preserved" `Quick test_gap_preserved;
+          Alcotest.test_case "lift/project" `Quick test_lift_project_roundtrip;
+        ] );
+      qsuite "transform-props" [ prop_opt_preserved_random_graphs ];
+    ]
