@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench verify examples soak figures clean
+.PHONY: all build test bench verify examples soak faults figures clean
 
 all: build
 
@@ -29,6 +29,10 @@ examples:
 
 soak:
 	MAXIS_SOAK=100 dune exec test/test_soak.exe
+
+# Fault injection: hardened delivery vs adversarial links (docs/FAULTS.md).
+faults:
+	dune exec bench/main.exe -- FAULTS
 
 figures:
 	dune exec bench/main.exe -- F1-F6

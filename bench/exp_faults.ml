@@ -1,0 +1,126 @@
+(* Experiment FAULTS: fault injection and the price of reliable delivery.
+
+   The paper's bounds price communication; fault tolerance is bought in
+   the same currency.  This experiment runs plain and `Faults.harden`ed
+   algorithms under increasingly hostile link plans and shows
+   (a) plain algorithms degrade (outputs diverge from the fault-free
+       referee) while hardened ones keep the exact fault-free outputs,
+   (b) the runtime meters the extra bits that reliability costs, and
+   (c) the whole faulty execution replays deterministically from
+       (config.seed, plan) — same trace digest on a re-run. *)
+
+module T = Stdx.Tablefmt
+module Runtime = Congest.Runtime
+module Faults = Congest.Faults
+module Trace = Congest.Trace
+open Exp_common
+
+let run () =
+  section "FAULTS" "fault injection: hardened delivery vs adversarial links";
+  let rng = rng_for "faults" in
+  let g = Wgraph.Build.erdos_renyi rng 16 0.35 in
+  (* 131-bit hardened frames need bandwidth_factor * id_width(16) >= 131;
+     64 * 4 = 256 leaves headroom.  Plain runs use the same budget so the
+     bit columns are comparable. *)
+  let cfg faults =
+    {
+      Runtime.default_config with
+      Runtime.bandwidth_factor = 64;
+      max_rounds = 600;
+      faults;
+    }
+  in
+  let plans =
+    [
+      ("none", None);
+      ("drop 0.10", Some (Faults.plan ~default:(Faults.link ~drop:0.1 ()) 11));
+      ( "drop+dup+corrupt+delay",
+        Some
+          (Faults.plan
+             ~default:
+               (Faults.link ~drop:0.15 ~duplicate:0.1 ~corrupt:0.1
+                  ~max_delay:2 ())
+             12) );
+    ]
+  in
+  let table =
+    T.create
+      [
+        T.column ~align:T.Left "algorithm";
+        T.column ~align:T.Left "plan";
+        T.column ~align:T.Left "variant";
+        T.column ~align:T.Left "halted";
+        T.column "rounds";
+        T.column "attempted bits";
+        T.column "injected";
+        T.column "dropped bits";
+        T.column ~align:T.Left "outputs = fault-free";
+      ]
+  in
+  let bench : type o. o Congest.Program.t -> unit =
+   fun program ->
+    let name = program.Congest.Program.name in
+    (* The fault-free referee every faulty run is compared against. *)
+    let base = Runtime.run ~config:(cfg None) program g in
+    List.iter
+      (fun (pname, plan) ->
+        let variant label prog =
+          match Runtime.run_checked ~config:(cfg plan) prog g with
+          | Error f ->
+              T.add_row table
+                [
+                  name;
+                  pname;
+                  label;
+                  Format.asprintf "FAILED: %a" Runtime.pp_failure f;
+                  "-";
+                  "-";
+                  "-";
+                  "-";
+                  "-";
+                ]
+          | Ok r ->
+              let tr = r.Runtime.trace in
+              T.add_row table
+                [
+                  name;
+                  pname;
+                  label;
+                  T.cell_bool r.Runtime.all_halted;
+                  T.cell_int r.Runtime.rounds_executed;
+                  T.cell_int (Trace.total_bits tr);
+                  T.cell_int (Trace.total_faults tr);
+                  T.cell_int (Trace.dropped_bits tr);
+                  T.cell_bool (r.Runtime.outputs = base.Runtime.outputs);
+                ]
+        in
+        variant "plain" program;
+        variant "hardened" (Faults.harden program))
+      plans
+  in
+  bench (Congest.Algo_flood.max_id ~rounds:8);
+  bench (Congest.Algo_bfs.distances ~root:0 ~rounds:8);
+  bench Congest.Algo_luby.mis;
+  T.print ~csv:"results/faults.csv" table;
+  note "hardened runs keep the fault-free outputs; the extra bits are the";
+  note "price of reliability, metered by the same referee as the theorems.";
+  (* Replay determinism: the faulty execution is a pure function of
+     (config.seed, plan) -- byte-identical traces, digest included. *)
+  let chaos = List.assoc "drop+dup+corrupt+delay" plans in
+  let digest () =
+    let r =
+      Runtime.run ~config:(cfg chaos) (Faults.harden Congest.Algo_luby.mis) g
+    in
+    Trace.digest r.Runtime.trace
+  in
+  let d1 = digest () and d2 = digest () in
+  note "replay determinism: digest %Lx = %Lx -> %b" d1 d2 (d1 = d2);
+  (* Crashes are not masked by hardening: the node is gone, not slow. *)
+  let crash_plan = Some (Faults.plan ~crashes:[ (3, 2) ] 13) in
+  let r =
+    Runtime.run ~config:(cfg crash_plan)
+      (Faults.harden (Congest.Algo_flood.max_id ~rounds:8))
+      g
+  in
+  note "crash plan: node 3 crashed at round 2 -> crashed.(3) = %b"
+    r.Runtime.crashed.(3)

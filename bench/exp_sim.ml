@@ -45,18 +45,33 @@ let sim () =
       let m = Wgraph.Graph.edge_count g in
       let side = if intersecting then "inter" else "disj" in
       let row program =
-        let _, r = Simulation.simulate program inst in
-        T.add_row table
-          [
-            r.Simulation.algorithm;
-            side;
-            T.cell_int r.Simulation.rounds;
-            T.cell_int r.Simulation.cut_size;
-            T.cell_int r.Simulation.bandwidth;
-            T.cell_int r.Simulation.blackboard_bits;
-            T.cell_int r.Simulation.bound_bits;
-            T.cell_bool r.Simulation.within_bound;
-          ]
+        (* Checked entry point: a model violation becomes a visible table
+           row and the experiment continues with the other algorithms. *)
+        match Simulation.simulate_checked program inst with
+        | Error f ->
+            T.add_row table
+              [
+                program.Congest.Program.name;
+                side;
+                Format.asprintf "FAILED: %a" Congest.Runtime.pp_failure f;
+                "-";
+                "-";
+                "-";
+                "-";
+                "-";
+              ]
+        | Ok (_, r) ->
+            T.add_row table
+              [
+                r.Simulation.algorithm;
+                side;
+                T.cell_int r.Simulation.rounds;
+                T.cell_int r.Simulation.cut_size;
+                T.cell_int r.Simulation.bandwidth;
+                T.cell_int r.Simulation.blackboard_bits;
+                T.cell_int r.Simulation.bound_bits;
+                T.cell_bool r.Simulation.within_bound;
+              ]
       in
       row (Congest.Algo_flood.max_id ~rounds:5);
       row (Congest.Algo_bfs.distances ~root:0 ~rounds:5);
@@ -83,22 +98,35 @@ let sim () =
     (fun intersecting ->
       let x = linear_input rng p ~intersecting in
       let inst = LF.instance p x in
-      let d = Simulation.decide_disjointness inst ~predicate:(LF.predicate p) in
       let truth = Commcx.Functions.promise_pairwise_disjointness x in
-      T.add_row table2
-        [
-          (if intersecting then "inter" else "disj");
-          T.cell_int d.Simulation.opt;
-          (match d.Simulation.verdict with
-          | `High -> "High"
-          | `Low -> "Low"
-          | `Gap_violation -> "GAP-VIOLATION");
-          (match d.Simulation.answer with
-          | Some b -> string_of_bool b
-          | None -> "?");
-          string_of_bool truth;
-          T.cell_bool (d.Simulation.answer = Some truth);
-        ])
+      match
+        Simulation.decide_disjointness_checked inst ~predicate:(LF.predicate p)
+      with
+      | Error e ->
+          T.add_row table2
+            [
+              (if intersecting then "inter" else "disj");
+              Format.asprintf "FAILED: %a" Simulation.pp_error e;
+              "-";
+              "-";
+              string_of_bool truth;
+              T.cell_bool false;
+            ]
+      | Ok d ->
+          T.add_row table2
+            [
+              (if intersecting then "inter" else "disj");
+              T.cell_int d.Simulation.opt;
+              (match d.Simulation.verdict with
+              | `High -> "High"
+              | `Low -> "Low"
+              | `Gap_violation -> "GAP-VIOLATION");
+              (match d.Simulation.answer with
+              | Some b -> string_of_bool b
+              | None -> "?");
+              string_of_bool truth;
+              T.cell_bool (d.Simulation.answer = Some truth);
+            ])
     [ true; false ];
   T.print ~csv:"results/sim_decisions.csv" table2
 
@@ -125,7 +153,12 @@ let player () =
   let m = Wgraph.Graph.edge_count g in
   let compare_impls : type o. o Congest.Program.t -> unit =
    fun program ->
-    let mono = Congest.Runtime.run program g in
+    match Congest.Runtime.run_checked program g with
+    | Error f ->
+        (* Report-and-continue: the remaining algorithms still run. *)
+        note "%s skipped -- %s" program.Congest.Program.name
+          (Format.asprintf "%a" Congest.Runtime.pp_failure f)
+    | Ok mono ->
     let multi = Maxis_core.Player_sim.run program inst in
     let trace_bits =
       Congest.Trace.cut_bits mono.Congest.Runtime.trace

@@ -15,6 +15,7 @@ let experiments =
     ("SIM", "Theorem 5 simulation + CC + Limitations", Exp_sim.run);
     ("UNW", "Remark 1 unweighted transform", Exp_unweighted.run);
     ("ABL", "ablations: code distance, bandwidth, broadcast", Exp_ablations.run);
+    ("FAULTS", "fault injection: hardened delivery vs adversarial links", Exp_faults.run);
     ("PERF", "Bechamel timing benches", Exp_perf.run);
   ]
 

@@ -225,33 +225,80 @@ let figure_cmd =
 (* simulate *)
 
 let simulate_cmd =
-  let run alpha ell players seed intersecting =
+  let run alpha ell players seed intersecting drop corrupt fault_seed =
+    if drop < 0.0 || drop > 1.0 || corrupt < 0.0 || corrupt > 1.0 then begin
+      Format.eprintf
+        "simulate: --drop and --corrupt must be probabilities in [0,1]@.";
+      exit 2
+    end;
     let p = params alpha ell players in
     let inst, x = gen_instance p ~quadratic:false ~seed ~intersecting in
-    let d =
-      Maxis_core.Simulation.decide_disjointness inst
-        ~predicate:(LF.predicate p)
+    let config =
+      if drop = 0.0 && corrupt = 0.0 then Congest.Runtime.default_config
+      else begin
+        let plan =
+          Congest.Faults.plan
+            ~default:(Congest.Faults.link ~drop ~corrupt ())
+            fault_seed
+        in
+        Format.printf "faults: %a@." Congest.Faults.pp_plan plan;
+        { Congest.Runtime.default_config with Congest.Runtime.faults = Some plan }
+      end
     in
-    let r = d.Maxis_core.Simulation.report in
-    Format.printf "algorithm: %s@." r.Maxis_core.Simulation.algorithm;
-    Format.printf "rounds: %d, cut: %d, bandwidth: %d bits/edge/round@."
-      r.Maxis_core.Simulation.rounds r.Maxis_core.Simulation.cut_size
-      r.Maxis_core.Simulation.bandwidth;
-    Format.printf "blackboard: %d bits in %d writes (bound %d, within: %b)@."
-      r.Maxis_core.Simulation.blackboard_bits
-      r.Maxis_core.Simulation.blackboard_writes
-      r.Maxis_core.Simulation.bound_bits r.Maxis_core.Simulation.within_bound;
-    Format.printf "OPT = %d, answer f(x) = %s, truth = %b@."
-      d.Maxis_core.Simulation.opt
-      (match d.Maxis_core.Simulation.answer with
-      | Some b -> string_of_bool b
-      | None -> "?")
-      (Commcx.Functions.promise_pairwise_disjointness x);
-    0
+    (* The checked entry point: a misbehaving or fault-starved run degrades
+       to a structured report instead of an escaping exception. *)
+    match
+      Maxis_core.Simulation.decide_disjointness_checked ~config inst
+        ~predicate:(LF.predicate p)
+    with
+    | Error e ->
+        Format.printf "simulation FAILED: %a@." Maxis_core.Simulation.pp_error e;
+        1
+    | Ok d ->
+        let r = d.Maxis_core.Simulation.report in
+        Format.printf "algorithm: %s@." r.Maxis_core.Simulation.algorithm;
+        Format.printf "rounds: %d, cut: %d, bandwidth: %d bits/edge/round@."
+          r.Maxis_core.Simulation.rounds r.Maxis_core.Simulation.cut_size
+          r.Maxis_core.Simulation.bandwidth;
+        Format.printf "blackboard: %d bits in %d writes (bound %d, within: %b)@."
+          r.Maxis_core.Simulation.blackboard_bits
+          r.Maxis_core.Simulation.blackboard_writes
+          r.Maxis_core.Simulation.bound_bits r.Maxis_core.Simulation.within_bound;
+        if r.Maxis_core.Simulation.faults_injected > 0 then
+          Format.printf
+            "faults: %d injected events; cut bits dropped %d, delivered %d@."
+            r.Maxis_core.Simulation.faults_injected
+            r.Maxis_core.Simulation.blackboard_bits_dropped
+            r.Maxis_core.Simulation.blackboard_bits_delivered;
+        Format.printf "OPT = %d, answer f(x) = %s, truth = %b@."
+          d.Maxis_core.Simulation.opt
+          (match d.Maxis_core.Simulation.answer with
+          | Some b -> string_of_bool b
+          | None -> "?")
+          (Commcx.Functions.promise_pairwise_disjointness x);
+        0
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:"Per-message drop probability on every link (fault injection).")
+  in
+  let corrupt_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "corrupt" ] ~docv:"P"
+          ~doc:"Per-message bit-corruption probability on every link.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-plan PRNG seed.")
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the Theorem-5 simulation on an instance.")
-    Term.(const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg $ intersecting_arg)
+    Term.(
+      const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg
+      $ intersecting_arg $ drop_arg $ corrupt_arg $ fault_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export *)

@@ -11,22 +11,62 @@ exception
 
 exception Illegal_recipient of { round : int; src : int; dst : int }
 
+exception Non_uniform_broadcast of { round : int; src : int }
+
 type mode = Unicast | Broadcast
 
-type config = { max_rounds : int; bandwidth_factor : int; mode : mode; seed : int }
+type config = {
+  max_rounds : int;
+  bandwidth_factor : int;
+  mode : mode;
+  seed : int;
+  faults : Faults.plan option;
+}
 
 let default_config =
-  { max_rounds = 10_000; bandwidth_factor = 4; mode = Unicast; seed = 42 }
+  {
+    max_rounds = 10_000;
+    bandwidth_factor = 4;
+    mode = Unicast;
+    seed = 42;
+    faults = None;
+  }
 
 type 'out result = {
   outputs : 'out option array;
   rounds_executed : int;
   all_halted : bool;
+  crashed : bool array;
   trace : Trace.t;
 }
 
-let bandwidth_bits config ~n =
-  config.bandwidth_factor * Msg.id_width ~n
+type failure_reason =
+  | Oversend of { dst : int; bits : int; limit : int }
+  | Non_neighbor of { dst : int }
+  | Broadcast_mismatch
+
+type failure = {
+  round : int;
+  src : int;
+  reason : failure_reason;
+  trace_prefix : Trace.t;
+}
+
+let pp_failure ppf f =
+  match f.reason with
+  | Oversend { dst; bits; limit } ->
+      Format.fprintf ppf
+        "round %d: node %d oversent to %d (%d bits > %d-bit edge budget)"
+        f.round f.src dst bits limit
+  | Non_neighbor { dst } ->
+      Format.fprintf ppf "round %d: node %d addressed non-neighbor %d" f.round
+        f.src dst
+  | Broadcast_mismatch ->
+      Format.fprintf ppf
+        "round %d: node %d sent non-uniform messages in broadcast mode" f.round
+        f.src
+
+let bandwidth_bits config ~n = config.bandwidth_factor * Msg.id_width ~n
 
 let check_broadcast_uniform round src outbox =
   match outbox with
@@ -35,15 +75,10 @@ let check_broadcast_uniform round src outbox =
       List.iter
         (fun (_, (m : Msg.t)) ->
           if m.Msg.payload <> first.Msg.payload || m.Msg.bits <> first.Msg.bits
-          then
-            invalid_arg
-              (Printf.sprintf
-                 "Runtime: node %d sent non-uniform messages in broadcast \
-                  mode at round %d"
-                 src round))
+          then raise (Non_uniform_broadcast { round; src }))
         rest
 
-let run ?(config = default_config) (program : 'out Program.t) g =
+let exec ~config (program : 'out Program.t) g trace =
   let n = Graph.n g in
   let limit = bandwidth_bits config ~n in
   let master_rng = Stdx.Prng.create config.seed in
@@ -68,7 +103,29 @@ let run ?(config = default_config) (program : 'out Program.t) g =
     in
     Array.of_list (build 0 [])
   in
-  let trace = Trace.create () in
+  (* Fault machinery: the injector draws from its own stream in the
+     deterministic send order below, so the faulty run replays exactly from
+     (config, plan). *)
+  let injector = Option.map Faults.injector config.faults in
+  let crash_at = Array.make (max n 1) max_int in
+  (match config.faults with
+  | None -> ()
+  | Some plan ->
+      List.iter
+        (fun (v, r) -> if v < n then crash_at.(v) <- min crash_at.(v) r)
+        plan.Faults.crashes);
+  let crashed = Array.make n false in
+  (* Messages deferred by delay faults, keyed by the round whose inbox they
+     join (a message sent at round r normally joins round r+1's inbox; a
+     delay of d defers it to round r+1+d). *)
+  let delayed : (int, (int * int * Msg.t) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let defer ~at ~src ~dst m =
+    match Hashtbl.find_opt delayed at with
+    | Some l -> l := (dst, src, m) :: !l
+    | None -> Hashtbl.replace delayed at (ref [ (dst, src, m) ])
+  in
   (* inboxes.(v) holds the messages delivered to v at the start of the
      current round, as (sender, msg) pairs. *)
   let inboxes : (int * Msg.t) list array = Array.make n [] in
@@ -77,14 +134,28 @@ let run ?(config = default_config) (program : 'out Program.t) g =
   let sent_this_round : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   let round = ref 0 in
   let all_halted () =
-    Array.for_all (fun inst -> inst.Program.halted ()) instances
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not (crashed.(v) || instances.(v).Program.halted ()) then ok := false
+    done;
+    !ok
   in
   while !round < config.max_rounds && not (all_halted ()) do
+    (* Crash-stop: scheduled nodes die at the start of the round — never
+       stepped again, sending nothing; messages already in flight to them
+       still deliver (into an inbox nobody reads). *)
+    for v = 0 to n - 1 do
+      if (not crashed.(v)) && crash_at.(v) <= !round then begin
+        crashed.(v) <- true;
+        Trace.record_fault trace ~round:!round ~src:v ~dst:v ~bits:0
+          ~kind:Trace.Crashed
+      end
+    done;
     Hashtbl.reset sent_this_round;
     Array.fill next_inboxes 0 n [];
     for v = 0 to n - 1 do
       let inst = instances.(v) in
-      if not (inst.Program.halted ()) then begin
+      if not (crashed.(v) || inst.Program.halted ()) then begin
         let outbox = inst.Program.step ~round:!round ~inbox:inboxes.(v) in
         (match config.mode with
         | Unicast -> ()
@@ -104,10 +175,33 @@ let run ?(config = default_config) (program : 'out Program.t) g =
                    { round = !round; src = v; dst; bits = total; limit });
             Hashtbl.replace sent_this_round key total;
             Trace.record_send trace ~round:!round ~src:v ~dst ~bits:m.Msg.bits;
-            next_inboxes.(dst) <- (v, m) :: next_inboxes.(dst))
+            match injector with
+            | None -> next_inboxes.(dst) <- (v, m) :: next_inboxes.(dst)
+            | Some inj ->
+                let deliveries, events = Faults.apply inj ~src:v ~dst m in
+                List.iter
+                  (fun kind ->
+                    Trace.record_fault trace ~round:!round ~src:v ~dst
+                      ~bits:m.Msg.bits ~kind)
+                  events;
+                List.iter
+                  (fun (d, m') ->
+                    if d = 0 then
+                      next_inboxes.(dst) <- (v, m') :: next_inboxes.(dst)
+                    else defer ~at:(!round + 1 + d) ~src:v ~dst m')
+                  deliveries)
           outbox
       end
     done;
+    (* Delay faults scheduled for the next round's inboxes join now. *)
+    (match Hashtbl.find_opt delayed (!round + 1) with
+    | None -> ()
+    | Some l ->
+        List.iter
+          (fun (dst, src, m) ->
+            next_inboxes.(dst) <- (src, m) :: next_inboxes.(dst))
+          !l;
+        Hashtbl.remove delayed (!round + 1));
     (* Deliver: keep sender order deterministic (ascending sender id). *)
     for v = 0 to n - 1 do
       inboxes.(v) <-
@@ -120,5 +214,20 @@ let run ?(config = default_config) (program : 'out Program.t) g =
     outputs = Array.map (fun inst -> inst.Program.output ()) instances;
     rounds_executed = !round;
     all_halted = all_halted ();
+    crashed;
     trace;
   }
+
+let run ?(config = default_config) (program : 'out Program.t) g =
+  exec ~config program g (Trace.create ())
+
+let run_checked ?(config = default_config) (program : 'out Program.t) g =
+  let trace = Trace.create () in
+  match exec ~config program g trace with
+  | result -> Ok result
+  | exception Bandwidth_exceeded { round; src; dst; bits; limit } ->
+      Error { round; src; reason = Oversend { dst; bits; limit }; trace_prefix = trace }
+  | exception Illegal_recipient { round; src; dst } ->
+      Error { round; src; reason = Non_neighbor { dst }; trace_prefix = trace }
+  | exception Non_uniform_broadcast { round; src } ->
+      Error { round; src; reason = Broadcast_mismatch; trace_prefix = trace }

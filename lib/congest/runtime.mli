@@ -5,10 +5,20 @@
     the previous round, and the per-edge bandwidth constraint — at most
     [bandwidth_factor · ⌈log₂ n⌉] bits per directed edge per round — is
     enforced at send time.  A run terminates when all nodes have halted or
-    when [max_rounds] is reached. *)
+    when [max_rounds] is reached.
+
+    With [config.faults] set, every attempted send passes through the
+    seeded fault plan at delivery time (drop/duplicate/corrupt/delay) and
+    scheduled nodes crash-stop; every injected event is recorded in the
+    trace alongside the sends, and the whole faulty execution is exactly
+    replayable from [(config, plan)]. *)
 
 exception Bandwidth_exceeded of { round : int; src : int; dst : int; bits : int; limit : int }
 exception Illegal_recipient of { round : int; src : int; dst : int }
+
+exception Non_uniform_broadcast of { round : int; src : int }
+(** Raised in [Broadcast] mode when a node sends unequal messages in one
+    round. *)
 
 type mode =
   | Unicast  (** the CONGEST model: different messages to different neighbors *)
@@ -24,17 +34,37 @@ type config = {
   bandwidth_factor : int;  (** the [c] in [c·⌈log n⌉] bits per edge-round *)
   mode : mode;
   seed : int;  (** seeds the per-node private randomness *)
+  faults : Faults.plan option;
+      (** adversarial links and crashes; [None] is the fault-free referee *)
 }
 
 val default_config : config
-(** 10_000 rounds, factor 4, [Unicast], seed 42. *)
+(** 10_000 rounds, factor 4, [Unicast], seed 42, no faults. *)
 
 type 'out result = {
   outputs : 'out option array;  (** per node *)
   rounds_executed : int;
-  all_halted : bool;
+  all_halted : bool;  (** crashed nodes count as halted *)
+  crashed : bool array;  (** per node: did a fault plan crash it? *)
   trace : Trace.t;
 }
+
+(** {1 Structured failure reporting} *)
+
+type failure_reason =
+  | Oversend of { dst : int; bits : int; limit : int }
+  | Non_neighbor of { dst : int }
+  | Broadcast_mismatch
+
+type failure = {
+  round : int;
+  src : int;
+  reason : failure_reason;
+  trace_prefix : Trace.t;
+      (** everything recorded up to the violation, for post-mortem *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
 
 val bandwidth_bits : config -> n:int -> int
 (** The per-(edge, round, direction) bit budget. *)
@@ -42,5 +72,14 @@ val bandwidth_bits : config -> n:int -> int
 val run : ?config:config -> 'out Program.t -> Wgraph.Graph.t -> 'out result
 (** Raises {!Bandwidth_exceeded} when a node oversends,
     {!Illegal_recipient} when it addresses a non-neighbor, and
-    [Invalid_argument] when [mode = Broadcast] and a node sends unequal
-    messages in one round. *)
+    {!Non_uniform_broadcast} when [mode = Broadcast] and a node sends
+    unequal messages in one round. *)
+
+val run_checked :
+  ?config:config ->
+  'out Program.t ->
+  Wgraph.Graph.t ->
+  ('out result, failure) Stdlib.result
+(** Like {!run} but no model violation escapes as an exception: the
+    [Error] carries round/src/dst context and the trace prefix, so drivers
+    can report and continue instead of crashing. *)

@@ -1,53 +1,181 @@
 type send = { round : int; src : int; dst : int; bits : int }
 
-type t = { sends : send Stdx.Dynvec.t; mutable executed_rounds : int }
+type fault_kind = Dropped | Duplicated | Corrupted | Delayed of int | Crashed
 
-let create () = { sends = Stdx.Dynvec.create (); executed_rounds = 0 }
+type fault = { round : int; src : int; dst : int; bits : int; kind : fault_kind }
+
+(* Lazily built aggregate index over the send log.  [bits_in_round],
+   [messages_in_round] and [bits_on_edge] are hot in soak runs that query
+   per round; folding the whole log per query is O(|sends|) each, which
+   goes quadratic when faults multiply the log.  The index is invalidated
+   by any mutation and rebuilt in one pass on the next query. *)
+type index = {
+  round_bits : int array;
+  round_msgs : int array;
+  edge_bits : (int * int, int) Hashtbl.t;
+}
+
+type t = {
+  sends : send Stdx.Dynvec.t;
+  faults : fault Stdx.Dynvec.t;
+  mutable executed_rounds : int;
+  mutable index : index option;
+}
+
+let create () =
+  {
+    sends = Stdx.Dynvec.create ();
+    faults = Stdx.Dynvec.create ();
+    executed_rounds = 0;
+    index = None;
+  }
 
 let record_send t ~round ~src ~dst ~bits =
+  t.index <- None;
   Stdx.Dynvec.push t.sends { round; src; dst; bits }
 
-let rounds t =
-  max t.executed_rounds
-    (Stdx.Dynvec.fold (fun acc s -> max acc (s.round + 1)) 0 t.sends)
+let record_fault t ~round ~src ~dst ~bits ~kind =
+  t.index <- None;
+  Stdx.Dynvec.push t.faults { round; src; dst; bits; kind }
 
-let set_rounds t r = t.executed_rounds <- r
+let rounds t =
+  let on_sends =
+    Stdx.Dynvec.fold (fun acc (s : send) -> max acc (s.round + 1)) 0 t.sends
+  in
+  let on_faults =
+    Stdx.Dynvec.fold (fun acc (f : fault) -> max acc (f.round + 1)) 0 t.faults
+  in
+  max t.executed_rounds (max on_sends on_faults)
+
+let set_rounds t r =
+  t.index <- None;
+  t.executed_rounds <- r
 
 let total_messages t = Stdx.Dynvec.length t.sends
 
-let total_bits t = Stdx.Dynvec.fold (fun acc s -> acc + s.bits) 0 t.sends
+let total_bits t = Stdx.Dynvec.fold (fun acc (s : send) -> acc + s.bits) 0 t.sends
+
+let ensure_index t =
+  match t.index with
+  | Some idx -> idx
+  | None ->
+      let r = rounds t in
+      let idx =
+        {
+          round_bits = Array.make r 0;
+          round_msgs = Array.make r 0;
+          edge_bits = Hashtbl.create 64;
+        }
+      in
+      Stdx.Dynvec.iter
+        (fun (s : send) ->
+          idx.round_bits.(s.round) <- idx.round_bits.(s.round) + s.bits;
+          idx.round_msgs.(s.round) <- idx.round_msgs.(s.round) + 1;
+          let key = (s.src, s.dst) in
+          Hashtbl.replace idx.edge_bits key
+            (s.bits + Option.value ~default:0 (Hashtbl.find_opt idx.edge_bits key)))
+        t.sends;
+      t.index <- Some idx;
+      idx
 
 let bits_in_round t r =
-  Stdx.Dynvec.fold (fun acc s -> if s.round = r then acc + s.bits else acc) 0 t.sends
+  let idx = ensure_index t in
+  if r < 0 || r >= Array.length idx.round_bits then 0 else idx.round_bits.(r)
 
 let messages_in_round t r =
-  Stdx.Dynvec.fold (fun acc s -> if s.round = r then acc + 1 else acc) 0 t.sends
+  let idx = ensure_index t in
+  if r < 0 || r >= Array.length idx.round_msgs then 0 else idx.round_msgs.(r)
 
 let bits_on_edge t ~src ~dst =
-  Stdx.Dynvec.fold
-    (fun acc s -> if s.src = src && s.dst = dst then acc + s.bits else acc)
-    0 t.sends
+  let idx = ensure_index t in
+  Option.value ~default:0 (Hashtbl.find_opt idx.edge_bits (src, dst))
 
 let cut_bits t part =
   Stdx.Dynvec.fold
-    (fun acc s -> if part.(s.src) <> part.(s.dst) then acc + s.bits else acc)
+    (fun acc (s : send) -> if part.(s.src) <> part.(s.dst) then acc + s.bits else acc)
     0 t.sends
 
 let cut_messages t part =
   Stdx.Dynvec.fold
-    (fun acc s -> if part.(s.src) <> part.(s.dst) then acc + 1 else acc)
+    (fun acc (s : send) -> if part.(s.src) <> part.(s.dst) then acc + 1 else acc)
     0 t.sends
 
 let max_bits_per_edge_round t =
   let tbl = Hashtbl.create 64 in
   Stdx.Dynvec.iter
-    (fun s ->
+    (fun (s : send) ->
       let key = (s.round, s.src, s.dst) in
       Hashtbl.replace tbl key
         (s.bits + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
     t.sends;
   Hashtbl.fold (fun _ v acc -> max acc v) tbl 0
 
+(* ------------------------------------------------------------------ *)
+(* Injected-fault accounting *)
+
+let total_faults t = Stdx.Dynvec.length t.faults
+
+let fault_events t = Stdx.Dynvec.to_array t.faults
+
+let count_faults t pred =
+  Stdx.Dynvec.fold (fun acc f -> if pred f then acc + 1 else acc) 0 t.faults
+
+let sum_fault_bits t pred =
+  Stdx.Dynvec.fold (fun acc f -> if pred f then acc + f.bits else acc) 0 t.faults
+
+let faults_in_round t r = count_faults t (fun f -> f.round = r)
+
+let dropped_bits t = sum_fault_bits t (fun f -> f.kind = Dropped)
+
+let duplicated_bits t = sum_fault_bits t (fun f -> f.kind = Duplicated)
+
+let corrupted_bits t = sum_fault_bits t (fun f -> f.kind = Corrupted)
+
+let cut_bits_dropped t part =
+  sum_fault_bits t (fun f -> f.kind = Dropped && part.(f.src) <> part.(f.dst))
+
+let cut_bits_duplicated t part =
+  sum_fault_bits t (fun f -> f.kind = Duplicated && part.(f.src) <> part.(f.dst))
+
+let cut_bits_delivered t part =
+  cut_bits t part - cut_bits_dropped t part + cut_bits_duplicated t part
+
+(* ------------------------------------------------------------------ *)
+(* Replay digest *)
+
+let mix h x =
+  let open Int64 in
+  let h = mul (logxor h (of_int x)) 0x100000001b3L in
+  logxor h (shift_right_logical h 29)
+
+let fault_code = function
+  | Dropped -> 1
+  | Duplicated -> 2
+  | Corrupted -> 3
+  | Delayed d -> 4 lor (d lsl 3)
+  | Crashed -> 5
+
+let digest t =
+  let h = ref 0xcbf29ce484222325L in
+  let add x = h := mix !h x in
+  add t.executed_rounds;
+  Stdx.Dynvec.iter
+    (fun (s : send) ->
+      add s.round;
+      add s.src;
+      add s.dst;
+      add s.bits)
+    t.sends;
+  Stdx.Dynvec.iter
+    (fun (f : fault) ->
+      add f.round;
+      add f.src;
+      add f.dst;
+      add f.bits;
+      add (fault_code f.kind))
+    t.faults;
+  !h
+
 let pp ppf t =
-  Format.fprintf ppf "trace(rounds=%d, msgs=%d, bits=%d)" (rounds t)
-    (total_messages t) (total_bits t)
+  Format.fprintf ppf "trace(rounds=%d, msgs=%d, bits=%d, faults=%d)" (rounds t)
+    (total_messages t) (total_bits t) (total_faults t)

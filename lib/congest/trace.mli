@@ -4,13 +4,35 @@
     player partition: [O(T · |cut| · log |V|)].  The runtime records every
     directed send with its declared size, so after a run one can ask for
     total bits, per-round bits, per-directed-edge bits, and — the key
-    quantity — bits crossing an arbitrary node partition. *)
+    quantity — bits crossing an arbitrary node partition.
+
+    When the runtime executes under a fault plan ({!Faults.plan}) it also
+    records every injected event (drop, duplication, corruption, delay,
+    crash) alongside the sends, so {e attempted} traffic (what Theorem 5's
+    [T·|cut|·B] cap bounds) and {e delivered} traffic (what actually
+    reached the inboxes) can be metered separately. *)
 
 type t
+
+(** How an injected fault perturbed a recorded send (or, for [Crashed], a
+    node). *)
+type fault_kind =
+  | Dropped  (** the message was not delivered *)
+  | Duplicated  (** a second copy was delivered *)
+  | Corrupted  (** the payload was bit-flipped before delivery *)
+  | Delayed of int  (** delivery deferred by this many extra rounds *)
+  | Crashed  (** the node (src = dst) stopped executing this round *)
+
+type fault = { round : int; src : int; dst : int; bits : int; kind : fault_kind }
 
 val create : unit -> t
 
 val record_send : t -> round:int -> src:int -> dst:int -> bits:int -> unit
+
+val record_fault :
+  t -> round:int -> src:int -> dst:int -> bits:int -> kind:fault_kind -> unit
+(** Recorded by the runtime for every injected event; [bits] is the size of
+    the affected message (0 for [Crashed]). *)
 
 val rounds : t -> int
 (** Number of rounds that sent or could have sent messages (1 + highest
@@ -27,12 +49,18 @@ val bits_in_round : t -> int -> int
 val messages_in_round : t -> int -> int
 
 val bits_on_edge : t -> src:int -> dst:int -> int
-(** Directed accumulation over the whole run. *)
+(** Directed accumulation over the whole run.
+
+    [bits_in_round], [messages_in_round] and [bits_on_edge] are served from
+    a per-round/per-edge index built lazily on first query and invalidated
+    on mutation, so repeated queries cost O(1) instead of O(|sends|). *)
 
 val cut_bits : t -> int array -> int
 (** [cut_bits tr part] is the number of bits sent on edges whose endpoints
     lie in different parts — the blackboard cost of simulating the run in
-    the multi-party model. *)
+    the multi-party model.  This counts {e attempted} sends: Theorem 5's
+    cap bounds what the algorithm emits, whether or not an adversarial
+    link then dropped it. *)
 
 val cut_messages : t -> int array -> int
 
@@ -40,5 +68,41 @@ val max_bits_per_edge_round : t -> int
 (** The largest per-(round, directed edge) total — must be at most the
     configured bandwidth (the runtime enforces it; the trace re-derives it
     for tests). *)
+
+(** {1 Injected-fault accounting} *)
+
+val total_faults : t -> int
+
+val fault_events : t -> fault array
+(** All injected events in recording order (a copy). *)
+
+val faults_in_round : t -> int -> int
+
+val dropped_bits : t -> int
+(** Bits of recorded sends that a fault plan then dropped. *)
+
+val duplicated_bits : t -> int
+(** Extra bits delivered beyond the recorded sends (one duplicate copy per
+    [Duplicated] event). *)
+
+val corrupted_bits : t -> int
+
+val cut_bits_dropped : t -> int array -> int
+(** Cut-crossing bits the plan dropped: the injected-lost share of
+    {!cut_bits}. *)
+
+val cut_bits_duplicated : t -> int array -> int
+
+val cut_bits_delivered : t -> int array -> int
+(** Cut-crossing bits that actually arrived:
+    [cut_bits - cut_bits_dropped + cut_bits_duplicated]. *)
+
+(** {1 Replay digest} *)
+
+val digest : t -> int64
+(** A deterministic digest over the executed round count, every recorded
+    send and every injected event.  Two runs with identical
+    [(config, plan)] produce identical digests — the replay guarantee the
+    fault layer is tested against. *)
 
 val pp : Format.formatter -> t -> unit

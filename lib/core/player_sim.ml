@@ -26,6 +26,15 @@ type pending = { src : int; dst : int; msg : Msg.t }
 
 let run ?(config = Runtime.default_config) (program : 'out Program.t)
     (inst : Family.instance) =
+  (* The player protocol is the fault-free referee: its bit-for-bit
+     equivalence with Runtime.run is the invariant fault injection is
+     tested AGAINST, so a fault plan here would be circular.  Reject it
+     explicitly rather than silently ignoring the field. *)
+  if config.Runtime.faults <> None then
+    invalid_arg
+      "Player_sim.run: fault injection is out of scope for the player \
+       protocol (run the faulty execution in Congest.Runtime and compare \
+       against this fault-free referee)";
   let g = inst.Family.graph in
   let part = inst.Family.partition in
   let n = Graph.n g in
@@ -99,8 +108,9 @@ let run ?(config = Runtime.default_config) (program : 'out Program.t)
                             m.Msg.payload <> first.Msg.payload
                             || m.Msg.bits <> first.Msg.bits
                           then
-                            invalid_arg
-                              "Player_sim: non-uniform broadcast messages")
+                            raise
+                              (Runtime.Non_uniform_broadcast
+                                 { round = !round; src = v }))
                         rest));
               List.iter
                 (fun (dst, (m : Msg.t)) ->

@@ -33,7 +33,10 @@ val run :
   Family.instance ->
   'out outcome
 (** Raises the same exceptions as {!Congest.Runtime.run} (bandwidth,
-    illegal recipient, broadcast uniformity). *)
+    illegal recipient, broadcast uniformity).  Raises [Invalid_argument]
+    when [config.faults] is set: the player protocol is the fault-free
+    referee that faulty {!Congest.Runtime} executions are compared
+    against, so fault injection here would be circular. *)
 
 val decide_disjointness :
   ?config:Congest.Runtime.config ->

@@ -9,39 +9,54 @@ type report = {
   bandwidth : int;
   blackboard_bits : int;
   blackboard_writes : int;
+  blackboard_bits_dropped : int;
+  blackboard_bits_delivered : int;
   bound_bits : int;
   within_bound : bool;
   total_bits : int;
+  faults_injected : int;
 }
 
-let simulate ?(config = Runtime.default_config) program (inst : Family.instance) =
-  let g = inst.Family.graph in
-  let result = Runtime.run ~config program g in
-  let n = Wgraph.Graph.n g in
+let report_of ~config (program : _ Congest.Program.t) (inst : Family.instance)
+    (result : _ Runtime.result) =
+  let n = Wgraph.Graph.n inst.Family.graph in
   let cut_size = Family.cut_size inst in
   let bandwidth = Runtime.bandwidth_bits config ~n in
-  let blackboard_bits = Trace.cut_bits result.Runtime.trace inst.Family.partition in
+  let trace = result.Runtime.trace in
+  let blackboard_bits = Trace.cut_bits trace inst.Family.partition in
   let rounds = result.Runtime.rounds_executed in
   (* Directed cut capacity: each undirected cut edge carries up to B bits in
      each direction per round, matching the proof's O(T·|cut|·log n) with
-     the constant made explicit. *)
+     the constant made explicit.  The cap bounds ATTEMPTED traffic — what
+     the algorithm emits — so it holds whether or not a fault plan then
+     drops part of it. *)
   let bound_bits = rounds * (2 * cut_size) * bandwidth in
-  let report =
-    {
-      algorithm = program.Congest.Program.name;
-      n;
-      rounds;
-      cut_size;
-      bandwidth;
-      blackboard_bits;
-      blackboard_writes =
-        Trace.cut_messages result.Runtime.trace inst.Family.partition;
-      bound_bits;
-      within_bound = blackboard_bits <= bound_bits;
-      total_bits = Trace.total_bits result.Runtime.trace;
-    }
-  in
-  (result, report)
+  {
+    algorithm = program.Congest.Program.name;
+    n;
+    rounds;
+    cut_size;
+    bandwidth;
+    blackboard_bits;
+    blackboard_writes = Trace.cut_messages trace inst.Family.partition;
+    blackboard_bits_dropped = Trace.cut_bits_dropped trace inst.Family.partition;
+    blackboard_bits_delivered =
+      Trace.cut_bits_delivered trace inst.Family.partition;
+    bound_bits;
+    within_bound = blackboard_bits <= bound_bits;
+    total_bits = Trace.total_bits trace;
+    faults_injected = Trace.total_faults trace;
+  }
+
+let simulate ?(config = Runtime.default_config) program (inst : Family.instance) =
+  let result = Runtime.run ~config program inst.Family.graph in
+  (result, report_of ~config program inst result)
+
+let simulate_checked ?(config = Runtime.default_config) program
+    (inst : Family.instance) =
+  match Runtime.run_checked ~config program inst.Family.graph with
+  | Ok result -> Ok (result, report_of ~config program inst result)
+  | Error failure -> Error failure
 
 type decision = {
   report : report;
@@ -50,22 +65,43 @@ type decision = {
   answer : bool option;
 }
 
-let decide_disjointness ?config (inst : Family.instance) ~predicate =
+type error =
+  | Runtime_failure of Runtime.failure
+  | Incomplete of { rounds : int }
+
+let pp_error ppf = function
+  | Runtime_failure f -> Runtime.pp_failure ppf f
+  | Incomplete { rounds } ->
+      Format.fprintf ppf
+        "gathering did not complete within %d rounds (increase max_rounds)"
+        rounds
+
+let decide_disjointness_checked ?config (inst : Family.instance) ~predicate =
   let g = inst.Family.graph in
   let m = Wgraph.Graph.edge_count g in
   let program = Congest.Algo_gather.exact_maxis ~m in
-  let result, report = simulate ?config program inst in
-  let opt =
-    match result.Runtime.outputs.(0) with
-    | Some v -> v
-    | None ->
-        invalid_arg
-          "Simulation.decide_disjointness: gathering did not complete \
-           (increase max_rounds)"
-  in
-  {
-    report;
-    opt;
-    verdict = Predicate.classify predicate opt;
-    answer = Predicate.decides_to predicate opt;
-  }
+  match simulate_checked ?config program inst with
+  | Error failure -> Error (Runtime_failure failure)
+  | Ok (result, report) -> (
+      match result.Runtime.outputs.(0) with
+      | None -> Error (Incomplete { rounds = result.Runtime.rounds_executed })
+      | Some opt ->
+          Ok
+            {
+              report;
+              opt;
+              verdict = Predicate.classify predicate opt;
+              answer = Predicate.decides_to predicate opt;
+            })
+
+let decide_disjointness ?config (inst : Family.instance) ~predicate =
+  match decide_disjointness_checked ?config inst ~predicate with
+  | Ok d -> d
+  | Error (Incomplete _) ->
+      invalid_arg
+        "Simulation.decide_disjointness: gathering did not complete \
+         (increase max_rounds)"
+  | Error (Runtime_failure f) ->
+      invalid_arg
+        (Format.asprintf "Simulation.decide_disjointness: %a" Runtime.pp_failure
+           f)

@@ -8,6 +8,11 @@
     per-edge-per-round bandwidth — that inequality {e is} Theorem 5, and
     this module measures both sides on real runs.
 
+    Under a fault plan ({!Congest.Faults}), attempted and delivered cut
+    traffic are metered separately: the Theorem-5 cap bounds what the
+    algorithm {e emits}, so it must — and does — hold on attempted traffic
+    even when an adversarial plan drops part of it.
+
     [decide_disjointness] completes the reduction end to end: it runs the
     universal exact-MaxIS algorithm ({!Congest.Algo_gather}), classifies
     OPT with the gap predicate, and returns the promise-pairwise-
@@ -19,11 +24,17 @@ type report = {
   rounds : int;
   cut_size : int;
   bandwidth : int;  (** per-edge per-round bit budget [B] *)
-  blackboard_bits : int;  (** measured bits crossing the partition *)
+  blackboard_bits : int;
+      (** measured bits of {e attempted} sends crossing the partition *)
   blackboard_writes : int;
-  bound_bits : int;  (** [rounds · cut_size · bandwidth] — Theorem 5's cap *)
-  within_bound : bool;
+  blackboard_bits_dropped : int;
+      (** cut-crossing bits a fault plan dropped (0 without faults) *)
+  blackboard_bits_delivered : int;
+      (** cut-crossing bits that actually arrived (includes duplicates) *)
+  bound_bits : int;  (** [rounds · 2·cut_size · bandwidth] — Theorem 5's cap *)
+  within_bound : bool;  (** attempted ≤ cap *)
   total_bits : int;  (** all traffic, crossing or not (for contrast) *)
+  faults_injected : int;  (** injected events recorded in the trace *)
 }
 
 val simulate :
@@ -31,7 +42,16 @@ val simulate :
   'out Congest.Program.t ->
   Family.instance ->
   'out Congest.Runtime.result * report
-(** Run any program on the instance's graph and meter the cut traffic. *)
+(** Run any program on the instance's graph and meter the cut traffic.
+    Raises as {!Congest.Runtime.run} on model violations. *)
+
+val simulate_checked :
+  ?config:Congest.Runtime.config ->
+  'out Congest.Program.t ->
+  Family.instance ->
+  ('out Congest.Runtime.result * report, Congest.Runtime.failure) Stdlib.result
+(** Like {!simulate}, but model violations come back as a structured
+    failure (round/src/dst + trace prefix) instead of an exception. *)
 
 type decision = {
   report : report;
@@ -39,6 +59,15 @@ type decision = {
   verdict : Predicate.verdict;
   answer : bool option;  (** the simulated players' output for [f(x̄)] *)
 }
+
+type error =
+  | Runtime_failure of Congest.Runtime.failure
+      (** the algorithm violated the model (oversend / non-neighbor /
+          broadcast mismatch) *)
+  | Incomplete of { rounds : int }
+      (** gathering did not finish within [max_rounds] *)
+
+val pp_error : Format.formatter -> error -> unit
 
 val decide_disjointness :
   ?config:Congest.Runtime.config ->
@@ -48,4 +77,13 @@ val decide_disjointness :
 (** The full Theorem-5 pipeline on the universal algorithm.  The runtime
     config's [max_rounds] must allow gathering to complete ([O(n + m)]
     rounds); the default config usually suffices for test-sized
-    instances. *)
+    instances.  Raises [Invalid_argument] on failure — prefer
+    {!decide_disjointness_checked} in drivers. *)
+
+val decide_disjointness_checked :
+  ?config:Congest.Runtime.config ->
+  Family.instance ->
+  predicate:Predicate.t ->
+  (decision, error) Stdlib.result
+(** As {!decide_disjointness}, with graceful degradation: failures carry
+    structured context for report-and-continue drivers. *)

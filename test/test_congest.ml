@@ -178,7 +178,27 @@ let test_broadcast_mode_uniformity () =
     (try
        ignore (Runtime.run ~config non_uniform g);
        false
-     with Invalid_argument _ -> true)
+     with Runtime.Non_uniform_broadcast { round = 0; src } -> src >= 0);
+  (* The checked entry point reports the same violation structurally. *)
+  (match Runtime.run_checked ~config non_uniform g with
+  | Error { Runtime.reason = Runtime.Broadcast_mismatch; round = 0; _ } -> ()
+  | Error _ -> Alcotest.fail "wrong failure reason"
+  | Ok _ -> Alcotest.fail "broadcast violation not detected")
+
+let test_broadcast_mode_uniform_ok () =
+  (* A uniform multi-recipient outbox is exactly what Broadcast mode
+     permits: the same flood must succeed in both modes with identical
+     outputs. *)
+  let g = Build.star 5 in
+  let config = { Runtime.default_config with Runtime.mode = Runtime.Broadcast } in
+  let uni = Runtime.run ~config (Congest.Algo_flood.max_id ~rounds:3) g in
+  let ref_run = Runtime.run (Congest.Algo_flood.max_id ~rounds:3) g in
+  check "halted" true uni.Runtime.all_halted;
+  check "same outputs as unicast" true
+    (uni.Runtime.outputs = ref_run.Runtime.outputs);
+  Array.iter
+    (fun o -> Alcotest.(check (option int)) "knows max" (Some 4) o)
+    uni.Runtime.outputs
 
 let test_max_rounds_cutoff () =
   let chatty =
@@ -591,6 +611,7 @@ let () =
           Alcotest.test_case "bandwidth enforced" `Quick test_bandwidth_enforced;
           Alcotest.test_case "illegal recipient" `Quick test_illegal_recipient;
           Alcotest.test_case "broadcast uniformity" `Quick test_broadcast_mode_uniformity;
+          Alcotest.test_case "broadcast uniform ok" `Quick test_broadcast_mode_uniform_ok;
           Alcotest.test_case "max rounds cutoff" `Quick test_max_rounds_cutoff;
           Alcotest.test_case "halted stays halted" `Quick test_halted_node_receives_nothing;
           Alcotest.test_case "bfs disconnected" `Quick test_bfs_disconnected;

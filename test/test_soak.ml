@@ -78,6 +78,39 @@ let soak_once rng iteration =
     (mono.Congest.Runtime.outputs = multi.Maxis_core.Player_sim.outputs
     && Congest.Trace.cut_bits mono.Congest.Runtime.trace inst.Family.partition
        = Commcx.Blackboard.bits_written multi.Maxis_core.Player_sim.board);
+  (* fault injection: a random adversarial plan each iteration.  Hardened
+     Luby must reproduce the fault-free outputs exactly, and the faulty
+     execution must replay bit-identically from (config.seed, plan). *)
+  let plan =
+    Congest.Faults.plan
+      ~default:
+        (Congest.Faults.link ~drop:(Prng.float rng 0.2)
+           ~duplicate:(Prng.float rng 0.1) ~corrupt:(Prng.float rng 0.1)
+           ~max_delay:(Prng.int rng 3) ())
+      (Prng.int rng 1_000_000)
+  in
+  (* 131-bit hardened frames: factor 131 covers any id width.  config.seed
+     stays at the default so the inner randomness matches [mono]. *)
+  let faulty_config =
+    {
+      Congest.Runtime.default_config with
+      Congest.Runtime.bandwidth_factor = 131;
+      faults = Some plan;
+    }
+  in
+  let hardened () =
+    Congest.Runtime.run ~config:faulty_config
+      (Congest.Faults.harden Congest.Algo_luby.mis)
+      g
+  in
+  let h1 = hardened () in
+  check (label "hardened luby = fault-free luby") true
+    (h1.Congest.Runtime.all_halted
+    && h1.Congest.Runtime.outputs = mono.Congest.Runtime.outputs);
+  let h2 = hardened () in
+  check (label "fault replay determinism") true
+    (Congest.Trace.digest h1.Congest.Runtime.trace
+    = Congest.Trace.digest h2.Congest.Runtime.trace);
   (* greedy guarantee + bound sandwich *)
   let cw, greedy, cover = Mis.Bounds.sandwich g in
   check (label "sandwich") true
