@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench verify examples soak faults figures clean
+.PHONY: all build test bench bench-par verify examples soak faults figures cache-clean clean
 
 all: build
 
@@ -13,6 +13,11 @@ test:
 # Regenerate every experiment table (CSV twins land in results/).
 bench:
 	dune exec bench/main.exe
+
+# Same tables, all cores + result cache (byte-identical stdout; the
+# exec pool/cache counters go to stderr).  See docs/PARALLEL.md.
+bench-par:
+	MAXIS_JOBS=auto dune exec bench/main.exe
 
 # One-call audit of the paper's assertions at a gap-valid parameter point.
 verify:
@@ -36,6 +41,10 @@ faults:
 
 figures:
 	dune exec bench/main.exe -- F1-F6
+
+# Drop cached exact-MIS results; the next run recomputes and repopulates.
+cache-clean:
+	rm -rf results/cache
 
 clean:
 	dune clean

@@ -14,6 +14,37 @@ let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
    re-runs and reorderings reproduce bit-identical tables. *)
 let rng_for id = Stdx.Prng.create (Hashtbl.hash id)
 
+(* ------------------------------------------------------------------ *)
+(* Execution context.
+
+   All experiments share one worker pool (width from MAXIS_JOBS, default
+   1) and one result cache under results/cache (disable with
+   MAXIS_NO_CACHE=1, relocate with MAXIS_CACHE_DIR).  The determinism
+   contract of Exec.Pool means stdout and every results/*.csv stay
+   byte-identical for any jobs/cache setting; the only run-dependent
+   output is the counter line below, which therefore goes to stderr. *)
+
+let pool = lazy (Exec.Pool.create ~jobs:(Exec.Pool.default_jobs ()))
+
+let cache =
+  lazy
+    (let c =
+       match Sys.getenv_opt "MAXIS_NO_CACHE" with
+       | Some "1" -> Exec.Cache.disabled ()
+       | Some _ | None ->
+           let dir =
+             Option.value
+               (Sys.getenv_opt "MAXIS_CACHE_DIR")
+               ~default:Exec.Cache.default_dir
+           in
+           Exec.Cache.create ~dir ()
+     in
+     at_exit (fun () ->
+         Format.eprintf "[exec] jobs=%d cache: %a@."
+           (Exec.Pool.default_jobs ())
+           Exec.Cache.pp_stats (Exec.Cache.stats c));
+     c)
+
 let linear_input rng p ~intersecting =
   Commcx.Inputs.gen_promise rng ~k:(P.k p) ~t:p.P.players ~intersecting
 
@@ -29,7 +60,38 @@ let opt_quadratic p x =
   Mis.Exact.opt
     (Maxis_core.Quadratic_family.instance p x).Maxis_core.Family.graph
 
-(* Mean measured OPT over [trials] random promise inputs. *)
-let mean_opt ~trials rng gen solve =
-  let vals = Array.init trials (fun _ -> float_of_int (solve (gen ()))) in
-  Stdx.Stats.mean vals
+(* ------------------------------------------------------------------ *)
+(* Cached solving *)
+
+let encode_opt (opt, ok) = Printf.sprintf "%d %b" opt ok
+
+let decode_opt s =
+  try Scanf.sscanf s " %d %B" (fun opt ok -> Some (opt, ok)) with _ -> None
+
+(* [solve] must be pure in [x]; its (opt, claim-holds) result is cached
+   under a digest of the input, so warm re-runs skip the exact solve (and
+   the claim re-check) entirely. *)
+let solve_cached ~family ~params ~solver solve x =
+  let key =
+    Exec.Cache.key ~family ~params ~seed:0 ~solver
+      ~extra:(Exec.Cache.fingerprint (Commcx.Inputs.canonical x))
+      ()
+  in
+  Exec.Cache.memo_value (Lazy.force cache) key ~encode:encode_opt
+    ~decode:decode_opt (fun () -> solve x)
+
+(* Mean measured OPT over [trials] random promise inputs, solves fanned
+   out over the shared pool.  Inputs are drawn sequentially from [rng]
+   (same stream as a sequential run) and results are reassembled in draw
+   order, so the mean — and the returned all-claims-hold flag — are
+   independent of jobs and cache state.  [solve x] returns the measured
+   OPT and whether the claim bound held on [x]. *)
+let mean_opt ~family ~params ~solver ~trials rng gen solve =
+  let inputs = Array.init trials (fun _ -> gen ()) in
+  let results =
+    Exec.Pool.map (Lazy.force pool)
+      (solve_cached ~family ~params ~solver solve)
+      inputs
+  in
+  let mean = Stdx.Stats.mean (Array.map (fun (o, _) -> float_of_int o) results) in
+  (mean, Array.for_all (fun (_, ok) -> ok) results)

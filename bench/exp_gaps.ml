@@ -38,25 +38,25 @@ let t1_gap () =
     (fun t ->
       let ell = (t * t) + 1 in
       let p = P.make ~alpha:1 ~ell ~players:t in
-      let claims_ok = ref true in
+      let params = Format.asprintf "%a" P.pp p in
       let solve_checked intersecting x =
         let c =
           if intersecting then Maxis_core.Claims.claim3 p x
           else Maxis_core.Claims.claim5 p x
         in
-        if not c.Maxis_core.Claims.holds then claims_ok := false;
-        c.Maxis_core.Claims.opt
+        (c.Maxis_core.Claims.opt, c.Maxis_core.Claims.holds)
       in
-      let hi =
-        mean_opt ~trials rng
+      let hi, hi_ok =
+        mean_opt ~family:"linear" ~params ~solver:"claim3" ~trials rng
           (fun () -> linear_input rng p ~intersecting:true)
           (solve_checked true)
       in
-      let lo =
-        mean_opt ~trials rng
+      let lo, lo_ok =
+        mean_opt ~family:"linear" ~params ~solver:"claim5" ~trials rng
           (fun () -> linear_input rng p ~intersecting:false)
           (solve_checked false)
       in
+      let claims_ok = ref (hi_ok && lo_ok) in
       T.add_row table
         [
           T.cell_int t;
@@ -96,25 +96,25 @@ let t2_gap () =
   List.iter
     (fun (t, ell) ->
       let p = P.make ~alpha:1 ~ell ~players:t in
-      let claims_ok = ref true in
+      let params = Format.asprintf "%a" P.pp p in
       let solve_checked intersecting x =
         let c =
           if intersecting then Maxis_core.Claims.claim6 p x
           else Maxis_core.Claims.claim7 p x
         in
-        if not c.Maxis_core.Claims.holds then claims_ok := false;
-        c.Maxis_core.Claims.opt
+        (c.Maxis_core.Claims.opt, c.Maxis_core.Claims.holds)
       in
-      let hi =
-        mean_opt ~trials rng
+      let hi, hi_ok =
+        mean_opt ~family:"quadratic" ~params ~solver:"claim6" ~trials rng
           (fun () -> quadratic_input rng p ~intersecting:true)
           (solve_checked true)
       in
-      let lo =
-        mean_opt ~trials rng
+      let lo, lo_ok =
+        mean_opt ~family:"quadratic" ~params ~solver:"claim7" ~trials rng
           (fun () -> quadratic_input rng p ~intersecting:false)
           (solve_checked false)
       in
+      let claims_ok = ref (hi_ok && lo_ok) in
       T.add_row table
         [
           T.cell_int t;

@@ -40,6 +40,35 @@ let quadratic_arg =
     value & flag
     & info [ "quadratic" ] ~doc:"Use the Section-5 quadratic family instead of the linear one.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan work out over $(docv) domains (default 1: fully sequential, \
+           no domain spawns).  Output is byte-identical for every value.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Do not read or write the on-disk result cache under \
+           results/cache/ (subcommands that perform no exact solves accept \
+           the flag as a no-op).")
+
+(* Every parallel subcommand funnels through here so a bad --jobs is a
+   usage error, not an escaping Invalid_argument. *)
+let with_pool_checked jobs f =
+  if jobs < 1 then begin
+    Format.eprintf "maxis_lb: --jobs must be >= 1 (got %d)@." jobs;
+    exit 2
+  end;
+  Exec.Pool.with_pool ~jobs f
+
+let make_cache ~no_cache =
+  if no_cache then Exec.Cache.disabled () else Exec.Cache.create ()
+
 let params alpha ell players = P.make ~alpha ~ell ~players
 
 let gen_instance p ~quadratic ~seed ~intersecting =
@@ -89,10 +118,16 @@ let build_cmd =
 (* verify *)
 
 let verify_cmd =
-  let run alpha ell players seed samples =
+  let run alpha ell players seed samples jobs no_cache =
     let p = params alpha ell players in
     Format.printf "parameters: %a@." P.pp p;
-    let items = Maxis_core.Verification.run ~seed ~samples p in
+    let cache = make_cache ~no_cache in
+    let items =
+      with_pool_checked jobs (fun pool ->
+          Maxis_core.Verification.run ~seed ~samples ~pool ~cache p)
+    in
+    if Exec.Cache.enabled cache then
+      Format.eprintf "cache: %a@." Exec.Cache.pp_stats (Exec.Cache.stats cache);
     List.iter
       (fun i -> Format.printf "%a@." Maxis_core.Verification.pp_item i)
       items;
@@ -119,19 +154,27 @@ let verify_cmd =
        ~doc:
          "Audit the code distance, Properties 1-3, Claims, Definition-4 \
           conditions and the Theorem-5 reduction at given parameters.")
-    Term.(const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg $ samples_arg)
+    Term.(
+      const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg $ samples_arg
+      $ jobs_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bounds *)
 
 let bounds_cmd =
-  let run alpha ell players epsilon =
+  let run alpha ell players epsilon jobs no_cache =
+    ignore (no_cache : bool) (* bounds performs no exact solves *);
     let p = params alpha ell players in
     let show (r : Maxis_core.Theorems.report) =
       Format.printf "%a@." Maxis_core.Theorems.pp r
     in
-    show (Maxis_core.Theorems.linear p);
-    show (Maxis_core.Theorems.quadratic p);
+    let reports =
+      with_pool_checked jobs (fun pool ->
+          Exec.Pool.map_list pool
+            (fun theorem -> theorem p)
+            [ Maxis_core.Theorems.linear; Maxis_core.Theorems.quadratic ])
+    in
+    List.iter show reports;
     (match epsilon with
     | None -> ()
     | Some epsilon ->
@@ -171,7 +214,9 @@ let bounds_cmd =
   in
   Cmd.v
     (Cmd.info "bounds" ~doc:"Print the Theorem 1/2 round bounds.")
-    Term.(const run $ alpha_arg $ ell_arg $ players_arg $ epsilon_arg)
+    Term.(
+      const run $ alpha_arg $ ell_arg $ players_arg $ epsilon_arg $ jobs_arg
+      $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* figure *)
@@ -355,14 +400,22 @@ let export_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let run max_t =
+  let run max_t jobs no_cache =
+    ignore (no_cache : bool) (* the formula sweep performs no exact solves *);
     Format.printf "t, ell, formal lo/hi ratio, defeated approximation@.";
-    for t = 2 to max_t do
-      let p = P.make ~alpha:1 ~ell:(4 * t * t) ~players:t in
-      Format.printf "%d, %d, %.4f, (1/2 + %.4f)@." t (4 * t * t)
-        (float_of_int (LF.low_weight p) /. float_of_int (LF.high_weight p))
-        (1.0 /. float_of_int t)
-    done;
+    let ts = Array.init (Stdlib.max 0 (max_t - 1)) (fun i -> i + 2) in
+    let rows =
+      with_pool_checked jobs (fun pool ->
+          Exec.Pool.map pool
+            (fun t ->
+              let p = P.make ~alpha:1 ~ell:(4 * t * t) ~players:t in
+              Printf.sprintf "%d, %d, %.4f, (1/2 + %.4f)" t (4 * t * t)
+                (float_of_int (LF.low_weight p)
+                /. float_of_int (LF.high_weight p))
+                (1.0 /. float_of_int t))
+            ts)
+    in
+    Array.iter print_endline rows;
     0
   in
   let max_t_arg =
@@ -370,7 +423,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep t and print the closing gap ratio.")
-    Term.(const run $ max_t_arg)
+    Term.(const run $ max_t_arg $ jobs_arg $ no_cache_arg)
 
 let () =
   let doc = "lower-bound constructions for approximate MaxIS in CONGEST" in

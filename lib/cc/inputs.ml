@@ -95,6 +95,17 @@ let gen_promise rng ~k ~t ~intersecting =
   if intersecting then gen_uniquely_intersecting rng ~k ~t ~ones_per_player
   else gen_pairwise_disjoint rng ~k ~t ~ones_per_player
 
+let canonical x =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "k=%d;t=%d" x.k (t_players x));
+  Array.iter
+    (fun s ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf
+        (String.concat "," (List.map string_of_int (Bitset.elements s))))
+    x.strings;
+  Buffer.contents buf
+
 let pp ppf x =
   Format.fprintf ppf "inputs(k=%d, t=%d)" x.k (t_players x);
   Array.iteri

@@ -60,4 +60,9 @@ val gen_promise : Stdx.Prng.t -> k:int -> t:int -> intersecting:bool -> t
 (** Convenience wrapper with a sensible density ([ones_per_player =
     max 1 (k / (2t))]). *)
 
+val canonical : t -> string
+(** Single-line canonical rendering ([k], [t], then each player's
+    1-positions), independent of any formatter state — the stable
+    identity an input contributes to an {!Exec.Cache} key. *)
+
 val pp : Format.formatter -> t -> unit

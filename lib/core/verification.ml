@@ -14,17 +14,53 @@ let of_claim (c : Claims.check) =
        (match c.Claims.kind with `Lower -> ">=" | `Upper -> "<=")
        c.Claims.bound)
 
+(* ------------------------------------------------------------------ *)
+(* Result caching.
+
+   The expensive checks (exact MaxIS solves behind the claims and
+   Property 3) are pure functions of the generated inputs, so their
+   [item]s can be cached under a digest of those inputs.  Input
+   {e generation} always runs — only solves are skipped — so the PRNG
+   stream, and with it every sampled input, is identical with or without
+   a cache. *)
+
+let encode_item i =
+  Printf.sprintf "%s\n%b\n%s" (String.escaped i.name) i.ok
+    (String.escaped i.detail)
+
+let decode_item s =
+  match String.split_on_char '\n' s with
+  | [ name; ok; detail ] -> (
+      match bool_of_string_opt ok with
+      | Some ok -> (
+          try Some { name = Scanf.unescaped name; ok; detail = Scanf.unescaped detail }
+          with _ -> None)
+      | None -> None)
+  | _ -> None
+
+let cached_item cache ~params ~solver ~extra compute =
+  let key =
+    Exec.Cache.key ~family:"verify-linear" ~params ~seed:0 ~solver ~extra ()
+  in
+  Exec.Cache.memo_value cache key ~encode:encode_item ~decode:decode_item
+    compute
+
+let fp_input x = Exec.Cache.fingerprint (Inputs.canonical x)
+
 let code_check p =
   match Codes.Code_mapping.verify p.Params.cp.Codes.Code_params.code with
   | Ok () -> item "code distance (Theorem 4)" true "all pairs verified"
   | Error e -> item "code distance (Theorem 4)" false e
 
-let property_checks rng p ~samples =
+let property_checks ~cache rng p ~samples =
+  let params = Format.asprintf "%a" Params.pp p in
   let p1 = List.map of_property (Properties.check_all_property1 p) in
   let p2 =
     List.map of_property (Properties.check_sampled_property2 rng p ~samples)
   in
-  (* Property 3 on an exact optimum of a random instance. *)
+  (* Property 3 on an exact optimum of a random instance.  The index
+     draws are hoisted above the (cacheable) solve; neither consumes the
+     other's randomness, so the PRNG stream is unchanged. *)
   let p3 =
     if Params.k p < 2 then []
     else begin
@@ -32,39 +68,67 @@ let property_checks rng p ~samples =
         Inputs.gen_promise rng ~k:(Params.k p) ~t:p.Params.players
           ~intersecting:false
       in
-      let sol = Mis.Exact.solve (Linear_family.instance p x).Family.graph in
       let t = p.Params.players in
       let i = Prng.int rng t in
       let j = (i + 1 + Prng.int rng (t - 1)) mod t in
       let m1 = Prng.int rng (Params.k p) in
       let m2 = (m1 + 1 + Prng.int rng (Params.k p - 1)) mod Params.k p in
-      [ of_property (Properties.property3 p ~i ~j ~m1 ~m2 ~set:sol.Mis.Exact.set) ]
+      let extra = Printf.sprintf "%s|i=%d;j=%d;m1=%d;m2=%d" (fp_input x) i j m1 m2 in
+      [
+        cached_item cache ~params ~solver:"property3" ~extra (fun () ->
+            let sol =
+              Mis.Exact.solve (Linear_family.instance p x).Family.graph
+            in
+            of_property
+              (Properties.property3 p ~i ~j ~m1 ~m2 ~set:sol.Mis.Exact.set));
+      ]
     end
   in
   p1 @ p2 @ p3
 
-let claim_checks rng p ~samples =
+let claim_checks ~pool ~cache rng p ~samples =
   let t = p.Params.players in
   let k = Params.k p in
-  let one i =
+  let params = Format.asprintf "%a" Params.pp p in
+  (* Generation stays sequential on [rng]; only the claim evaluations
+     (each an exact MaxIS solve) fan out, reassembled in draw order. *)
+  let one _i =
     let xi = Inputs.gen_promise rng ~k ~t ~intersecting:true in
     let xd = Inputs.gen_promise rng ~k ~t ~intersecting:false in
-    let base = [ of_claim (Claims.claim3 p xi); of_claim (Claims.claim5 p xd) ] in
+    let base =
+      [
+        ("claim3", fp_input xi, fun () -> of_claim (Claims.claim3 p xi));
+        ("claim5", fp_input xd, fun () -> of_claim (Claims.claim5 p xd));
+      ]
+    in
     let warmup =
       if t = 2 then
-        [ of_claim (Claims.claim1 p xi); of_claim (Claims.claim2 p xd) ]
+        [
+          ("claim1", fp_input xi, fun () -> of_claim (Claims.claim1 p xi));
+          ("claim2", fp_input xd, fun () -> of_claim (Claims.claim2 p xd));
+        ]
       else []
     in
     let tuples =
       if k >= t then
         let ms = Array.of_list (Prng.sample_without_replacement rng k t) in
-        [ of_claim (Claims.claim4 p ~ms); of_claim (Claims.corollary2 p ~ms) ]
+        let fp_ms =
+          Exec.Cache.fingerprint
+            (String.concat "," (List.map string_of_int (Array.to_list ms)))
+        in
+        [
+          ("claim4", fp_ms, fun () -> of_claim (Claims.claim4 p ~ms));
+          ("corollary2", fp_ms, fun () -> of_claim (Claims.corollary2 p ~ms));
+        ]
       else []
     in
-    ignore i;
     base @ warmup @ tuples
   in
-  List.concat_map one (List.init samples Fun.id)
+  let tasks = List.concat_map one (List.init samples Fun.id) in
+  Exec.Pool.map_list pool
+    (fun (solver, extra, compute) ->
+      cached_item cache ~params ~solver ~extra compute)
+    tasks
 
 let condition_checks rng p =
   let spec = Linear_family.spec p in
@@ -134,13 +198,19 @@ let reduction_checks rng p =
          (Commcx.Blackboard.bits_written outcome.Player_sim.board));
   ]
 
-let run ?(seed = 0xa0d17) ?(samples = 4) p =
+let run ?(seed = 0xa0d17) ?(samples = 4) ?pool ?cache p =
+  let pool =
+    match pool with Some p -> p | None -> Exec.Pool.create ~jobs:1
+  in
+  let cache =
+    match cache with Some c -> c | None -> Exec.Cache.disabled ()
+  in
   let rng = Prng.create seed in
   List.concat
     [
       [ code_check p ];
-      property_checks rng p ~samples;
-      claim_checks rng p ~samples;
+      property_checks ~cache rng p ~samples;
+      claim_checks ~pool ~cache rng p ~samples;
       (if Linear_family.formal_gap_valid p then
          condition_checks rng p @ reduction_checks rng p
        else

@@ -16,10 +16,22 @@ type item = {
   detail : string;  (** human-readable evidence, e.g. measured vs bound *)
 }
 
-val run : ?seed:int -> ?samples:int -> Params.t -> item list
+val run :
+  ?seed:int ->
+  ?samples:int ->
+  ?pool:Exec.Pool.t ->
+  ?cache:Exec.Cache.t ->
+  Params.t ->
+  item list
 (** [run p] audits the linear family at [p] ([samples] controls the
     randomized checks; default 4).  Raises nothing: failures are reported
-    as [ok = false] items. *)
+    as [ok = false] items.
+
+    With [~pool] the exact-solve-heavy claim checks fan out across the
+    pool; with [~cache] their results (and Property 3's) are read and
+    written through the given {!Exec.Cache}.  Input generation always
+    consumes the PRNG in the same order, so the returned items are
+    identical for every pool width and cache state. *)
 
 val all_ok : item list -> bool
 

@@ -1,0 +1,220 @@
+(* Entries live at [dir/<d0d1>/<digest>.entry] (two-hex-char shards keep
+   directories small on big sweeps).  The on-disk format is four header
+   lines followed by the raw payload bytes:
+
+     maxis-exec-cache v<schema>\n
+     <escaped canonical key>\n
+     <payload md5 hex>\n
+     <payload byte length>\n
+     <payload>
+
+   Every read re-derives the payload digest and compares the stored key,
+   so a truncated file, a hash collision, a schema change or random bit
+   rot all degrade to a miss. *)
+
+let schema_version = 1
+
+let default_dir = Filename.concat "results" "cache"
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable errors : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let fresh_stats () =
+  { hits = 0; misses = 0; stores = 0; errors = 0; bytes_read = 0; bytes_written = 0 }
+
+type t = {
+  dir : string option;  (* None = disabled *)
+  stats : stats;
+  lock : Mutex.t;
+  mutable tmp_seq : int;  (* uniquifies temp names within the process *)
+}
+
+let create ?(dir = default_dir) () =
+  { dir = Some dir; stats = fresh_stats (); lock = Mutex.create (); tmp_seq = 0 }
+
+let disabled () =
+  { dir = None; stats = fresh_stats (); lock = Mutex.create (); tmp_seq = 0 }
+
+let enabled t = t.dir <> None
+
+let stats t = t.stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf "hits=%d misses=%d stores=%d errors=%d read=%dB written=%dB"
+    s.hits s.misses s.stores s.errors s.bytes_read s.bytes_written
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Keys *)
+
+type key = { canonical : string; digest : string }
+
+let fingerprint s = Digest.to_hex (Digest.string s)
+
+let key ?(extra = "") ~family ~params ~seed ~solver () =
+  let canonical =
+    Printf.sprintf "v%d|family=%s|params=%s|seed=%d|solver=%s|extra=%s"
+      schema_version family params seed solver extra
+  in
+  { canonical; digest = fingerprint canonical }
+
+let canonical k = k.canonical
+
+let digest_hex k = k.digest
+
+(* ------------------------------------------------------------------ *)
+(* Paths *)
+
+let magic = Printf.sprintf "maxis-exec-cache v%d" schema_version
+
+let shard_dir dir k = Filename.concat dir (String.sub k.digest 0 2)
+
+let entry_path dir k = Filename.concat (shard_dir dir k) (k.digest ^ ".entry")
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ -> () (* lost a race with a concurrent mkdir: fine *)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lookup *)
+
+let read_entry path k =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      if input_line ic <> magic then None
+      else if input_line ic <> String.escaped k.canonical then None
+      else begin
+        let payload_md5 = input_line ic in
+        match int_of_string_opt (input_line ic) with
+        | None -> None
+        | Some len when len < 0 -> None
+        | Some len ->
+            let payload = really_input_string ic len in
+            if Digest.to_hex (Digest.string payload) = payload_md5 then
+              Some payload
+            else None
+      end)
+
+let find t k =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+      let path = entry_path dir k in
+      if not (Sys.file_exists path) then begin
+        locked t (fun () -> t.stats.misses <- t.stats.misses + 1);
+        None
+      end
+      else begin
+        let result = try read_entry path k with _ -> None in
+        locked t (fun () ->
+            match result with
+            | Some payload ->
+                t.stats.hits <- t.stats.hits + 1;
+                t.stats.bytes_read <- t.stats.bytes_read + String.length payload
+            | None ->
+                t.stats.misses <- t.stats.misses + 1;
+                t.stats.errors <- t.stats.errors + 1);
+        result
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Storage *)
+
+(* Uniquifies temp names across processes sharing one cache directory.
+   The exec library deliberately avoids a unix dependency, so instead of
+   getpid we hash per-process state that two racing processes will not
+   share. *)
+let process_token =
+  lazy (Hashtbl.hash (Sys.executable_name, Sys.time (), Random.State.make_self_init ()) land 0xFFFFFF)
+
+let store t k payload =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      let seq = locked t (fun () -> t.tmp_seq <- t.tmp_seq + 1; t.tmp_seq) in
+      try
+        let shard = shard_dir dir k in
+        mkdir_p shard;
+        let tmp =
+          Filename.concat shard
+            (Printf.sprintf ".tmp-%s-%d-%d" k.digest (Lazy.force process_token) seq)
+        in
+        let oc = open_out_bin tmp in
+        (try
+           output_string oc magic;
+           output_char oc '\n';
+           output_string oc (String.escaped k.canonical);
+           output_char oc '\n';
+           output_string oc (Digest.to_hex (Digest.string payload));
+           output_char oc '\n';
+           output_string oc (string_of_int (String.length payload));
+           output_char oc '\n';
+           output_string oc payload;
+           close_out oc
+         with e ->
+           close_out_noerr oc;
+           (try Sys.remove tmp with Sys_error _ -> ());
+           raise e);
+        Sys.rename tmp (entry_path dir k);
+        locked t (fun () ->
+            t.stats.stores <- t.stats.stores + 1;
+            t.stats.bytes_written <- t.stats.bytes_written + String.length payload)
+      with _ -> locked t (fun () -> t.stats.errors <- t.stats.errors + 1))
+
+let memo t k compute =
+  match find t k with
+  | Some payload -> payload
+  | None ->
+      let payload = compute () in
+      store t k payload;
+      payload
+
+let memo_value t k ~encode ~decode compute =
+  let recompute () =
+    let v = compute () in
+    store t k (encode v);
+    v
+  in
+  match find t k with
+  | None -> recompute ()
+  | Some payload -> (
+      match decode payload with
+      | Some v -> v
+      | None ->
+          locked t (fun () ->
+              t.stats.errors <- t.stats.errors + 1;
+              t.stats.hits <- t.stats.hits - 1;
+              t.stats.misses <- t.stats.misses + 1);
+          recompute ())
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance *)
+
+let clear t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      let rec rm path =
+        if Sys.file_exists path then
+          if Sys.is_directory path then begin
+            Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+            try Sys.rmdir path with Sys_error _ -> ()
+          end
+          else try Sys.remove path with Sys_error _ -> ()
+      in
+      rm dir

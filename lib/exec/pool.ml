@@ -1,0 +1,162 @@
+(* A fixed-size pool of worker domains fed by a per-batch atomic task
+   counter.  Determinism does not come from scheduling (tasks are claimed
+   first-come-first-served) but from indexing: task [i] writes only slot
+   [i] of the result array, and the caller reassembles slots in input
+   order.  The mutex/condition handshake that ends a batch establishes the
+   happens-before edge that makes those slot writes visible to the
+   caller. *)
+
+type job = { run : int -> unit; count : int }
+
+type shared = {
+  m : Mutex.t;
+  ready : Condition.t;  (* a new batch was published (gen bumped) *)
+  finished : Condition.t;  (* a worker drained its share of the batch *)
+  mutable job : job option;
+  mutable gen : int;  (* batch generation; workers chase it *)
+  mutable busy_workers : int;  (* workers not yet done with current batch *)
+  mutable stop : bool;
+  next : int Atomic.t;  (* next unclaimed task index of the batch *)
+}
+
+type t = {
+  jobs : int;
+  shared : shared option;  (* None iff jobs = 1 *)
+  mutable domains : unit Domain.t array;
+  mutable alive : bool;
+}
+
+let jobs t = t.jobs
+
+let drain sh job =
+  let rec go () =
+    let i = Atomic.fetch_and_add sh.next 1 in
+    if i < job.count then begin
+      job.run i;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker_loop sh seen =
+  Mutex.lock sh.m;
+  let rec await () =
+    if sh.stop then None
+    else if sh.gen <> seen then Some (sh.gen, Option.get sh.job)
+    else begin
+      Condition.wait sh.ready sh.m;
+      await ()
+    end
+  in
+  match await () with
+  | None -> Mutex.unlock sh.m
+  | Some (gen, job) ->
+      Mutex.unlock sh.m;
+      drain sh job;
+      Mutex.lock sh.m;
+      sh.busy_workers <- sh.busy_workers - 1;
+      if sh.busy_workers = 0 then Condition.broadcast sh.finished;
+      Mutex.unlock sh.m;
+      worker_loop sh gen
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    match t.shared with
+    | None -> ()
+    | Some sh ->
+        Mutex.lock sh.m;
+        sh.stop <- true;
+        Condition.broadcast sh.ready;
+        Mutex.unlock sh.m;
+        Array.iter Domain.join t.domains;
+        t.domains <- [||]
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Exec.Pool.create: jobs must be >= 1";
+  if jobs = 1 then { jobs; shared = None; domains = [||]; alive = true }
+  else begin
+    let sh =
+      {
+        m = Mutex.create ();
+        ready = Condition.create ();
+        finished = Condition.create ();
+        job = None;
+        gen = 0;
+        busy_workers = 0;
+        stop = false;
+        next = Atomic.make 0;
+      }
+    in
+    let t = { jobs; shared = Some sh; domains = [||]; alive = true } in
+    t.domains <-
+      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop sh 0));
+    (* Domains left blocked at process exit would make [exit] hang; make
+       every pool self-collecting. *)
+    at_exit (fun () -> shutdown t);
+    t
+  end
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else
+    match t.shared with
+    | None -> Array.map f xs
+    | Some sh ->
+        if not t.alive then invalid_arg "Exec.Pool.map: pool was shut down";
+        let slots = Array.make n None in
+        let run i =
+          slots.(i) <-
+            Some
+              (try Ok (f xs.(i))
+               with e -> Error (e, Printexc.get_raw_backtrace ()))
+        in
+        let job = { run; count = n } in
+        Mutex.lock sh.m;
+        if sh.job <> None then begin
+          Mutex.unlock sh.m;
+          invalid_arg "Exec.Pool.map: nested or concurrent map on one pool"
+        end;
+        Atomic.set sh.next 0;
+        sh.job <- Some job;
+        sh.gen <- sh.gen + 1;
+        sh.busy_workers <- t.jobs - 1;
+        Condition.broadcast sh.ready;
+        Mutex.unlock sh.m;
+        (* The calling domain is worker number [jobs]. *)
+        drain sh job;
+        Mutex.lock sh.m;
+        while sh.busy_workers > 0 do
+          Condition.wait sh.finished sh.m
+        done;
+        sh.job <- None;
+        Mutex.unlock sh.m;
+        (* Reassemble in input order; re-raise the lowest-index failure
+           (what a sequential loop would have raised first). *)
+        Array.iter
+          (function
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | Some (Ok _) -> ()
+            | None -> assert false)
+          slots;
+        Array.map
+          (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+          slots
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_jobs () =
+  match Sys.getenv_opt "MAXIS_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match String.trim (String.lowercase_ascii s) with
+      | "" -> 1
+      | "auto" | "0" -> Domain.recommended_domain_count ()
+      | s -> (
+          match int_of_string_opt s with Some j when j >= 1 -> j | _ -> 1))

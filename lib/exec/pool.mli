@@ -1,0 +1,55 @@
+(** Deterministic fixed-size domain worker pool.
+
+    The execution engine behind every fan-out in the repository: parameter
+    sweeps, per-trial exact MaxIS solves, the parallel branch-and-bound
+    split, the verification audit.  The design goal is a hard determinism
+    contract, because the bench harness promises byte-identical tables for
+    any [--jobs] setting:
+
+    - {!map} assigns every item a stable index and reassembles results in
+      input order, so the caller observes exactly the sequential result no
+      matter how tasks were scheduled across domains;
+    - when a task raises, {!map} re-raises the exception of the
+      {e lowest-index} failing task — the same exception a sequential loop
+      would have surfaced first (later tasks may still have run; their
+      results are discarded);
+    - a pool of [jobs = 1] spawns no domains at all and degrades to a plain
+      loop, so the default configuration is exactly the pre-pool code path.
+
+    Pools hold [jobs - 1] worker domains blocked on a condition variable;
+    the calling domain participates in every batch, so [jobs] is the true
+    parallel width.  Tasks must not themselves call {!map} on the same pool
+    (that raises [Invalid_argument] rather than deadlocking). *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1], else
+    [Invalid_argument]).  The pool is registered for shutdown at process
+    exit, so forgetting {!shutdown} never leaves blocked domains behind. *)
+
+val jobs : t -> int
+(** The parallel width the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] is [Array.map f xs], computed by up to [jobs pool]
+    domains.  Results are in input order; see the determinism contract
+    above for exceptions.  Raises [Invalid_argument] on a nested or
+    concurrent [map] over the same pool, or after {!shutdown}. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}; same contract. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; a [jobs = 1] pool is a
+    no-op.  Subsequent {!map} calls with [jobs > 1] raise. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on any
+    exit path. *)
+
+val default_jobs : unit -> int
+(** Parallel width requested by the environment: [MAXIS_JOBS] as a
+    positive integer, ["auto"] or ["0"] for
+    [Domain.recommended_domain_count ()], anything else (or unset) is [1].
+    The bench harness sizes its shared pool with this. *)

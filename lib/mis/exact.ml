@@ -107,3 +107,108 @@ let solve g = solve_on g (Bitset.full (Graph.n g))
 let solve_induced g cands = solve_on g cands
 
 let opt g = (solve g).weight
+
+(* ------------------------------------------------------------------ *)
+(* Parallel solve: fan the top of the branch-and-bound tree out over a
+   domain pool.
+
+   The top [depth] levels of the include/exclude tree are expanded
+   breadth-first into subproblems (candidate set, forced-in nodes, their
+   weight); the subproblems partition the search space, so solving each
+   independently and taking the best reconstructs the global optimum.
+   Each subproblem runs the sequential solver with its own incumbent —
+   no bound is shared across domains, which costs some pruning but makes
+   the node counts and the returned solution independent of scheduling:
+   the winner is the lowest-index subproblem achieving the maximum
+   weight, so [solve_par] is deterministic for every pool width. *)
+
+type subproblem = { cands : Bitset.t; chosen : int list; base_weight : int }
+
+let split_subproblems g order target =
+  let n = Graph.n g in
+  let heaviest_in cands =
+    let rec find i =
+      if i >= n then None
+      else if Bitset.mem cands order.(i) then Some order.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let split sub =
+    match heaviest_in sub.cands with
+    | None -> None
+    | Some v ->
+        let incl_cands = Bitset.diff sub.cands (Graph.neighbors g v) in
+        Bitset.remove incl_cands v;
+        let incl =
+          {
+            cands = incl_cands;
+            chosen = v :: sub.chosen;
+            base_weight = sub.base_weight + Graph.weight g v;
+          }
+        in
+        let excl_cands = Bitset.copy sub.cands in
+        Bitset.remove excl_cands v;
+        Some (incl, { sub with cands = excl_cands })
+  in
+  let rec expand subs count =
+    if count >= target then subs
+    else begin
+      let progressed = ref false in
+      let subs' =
+        List.concat_map
+          (fun sub ->
+            match split sub with
+            | None -> [ sub ]
+            | Some (incl, excl) ->
+                progressed := true;
+                [ incl; excl ])
+          subs
+      in
+      if !progressed then expand subs' (List.length subs') else subs
+    end
+  in
+  expand
+    [ { cands = Bitset.full n; chosen = []; base_weight = 0 } ]
+    1
+
+let solve_par ~pool g =
+  if Exec.Pool.jobs pool <= 1 then solve g
+  else begin
+    let n = Graph.n g in
+    if n > max_nodes then
+      invalid_arg
+        (Printf.sprintf "Mis.Exact.solve_par: %d nodes exceeds max_nodes=%d" n
+           max_nodes);
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let c = compare (Graph.weight g b) (Graph.weight g a) in
+        if c <> 0 then c else compare (Graph.degree g b) (Graph.degree g a))
+      order;
+    (* Oversplit relative to the pool width so an unlucky hard subproblem
+       does not serialize the batch. *)
+    let target = 4 * Exec.Pool.jobs pool in
+    let subs = Array.of_list (split_subproblems g order target) in
+    let solved =
+      Exec.Pool.map pool
+        (fun sub ->
+          let s = solve_on g sub.cands in
+          (sub.base_weight + s.weight, s))
+        subs
+    in
+    (* Lowest-index subproblem achieving the maximum wins: deterministic
+       for every pool width.  Weights are >= 0 and [subs] is non-empty,
+       so a winner always exists. *)
+    let best_idx = ref 0 in
+    let explored = ref 0 in
+    Array.iteri
+      (fun i (w, s) ->
+        explored := !explored + s.nodes_explored;
+        if w > fst solved.(!best_idx) then best_idx := i)
+      solved;
+    let w, s = solved.(!best_idx) in
+    let witness = Bitset.copy s.set in
+    List.iter (Bitset.add witness) subs.(!best_idx).chosen;
+    { weight = w; set = witness; nodes_explored = !explored }
+  end

@@ -28,6 +28,15 @@ val solve_induced : Wgraph.Graph.t -> Stdx.Bitset.t -> solution
 val opt : Wgraph.Graph.t -> int
 (** [opt g = (solve g).weight]. *)
 
+val solve_par : pool:Exec.Pool.t -> Wgraph.Graph.t -> solution
+(** Like {!solve}, with the top of the branch-and-bound tree expanded
+    into subproblems fanned out over the pool.  Always returns the same
+    [weight] as {!solve} and a valid witness set; the witness and
+    [nodes_explored] may differ from the sequential run (no incumbent
+    bound is shared across domains), but are themselves deterministic
+    for a fixed pool width.  A pool of width 1 delegates to {!solve}
+    exactly. *)
+
 val max_nodes : int
 (** Safety limit on instance size (default 4000); [solve] raises
     [Invalid_argument] beyond it rather than running forever. *)

@@ -16,7 +16,9 @@ let percentile xs p =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: a NaN-safe total order (NaN
+     sorts below every number) with no boxing on the hot path. *)
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
   sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))

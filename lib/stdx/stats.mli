@@ -21,6 +21,8 @@ val summarize_ints : int array -> summary
 
 val mean : float array -> float
 val percentile : float array -> float -> float
-(** [percentile xs p] with [p] in [0,100], nearest-rank on a sorted copy. *)
+(** [percentile xs p] with [p] in [0,100], nearest-rank on a sorted copy.
+    Sorting uses [Float.compare], so NaN samples order deterministically
+    (below every number) instead of poisoning the sort. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,416 @@
+(* Tests for the Exec subsystem: the deterministic domain pool, the
+   content-addressed result cache, and the parallel exact MaxIS solver
+   built on top of them. *)
+
+module Pool = Exec.Pool
+module Cache = Exec.Cache
+module Prng = Stdx.Prng
+module Bitset = Stdx.Bitset
+module Build = Wgraph.Build
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let widths = [ 1; 2; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool: determinism *)
+
+let test_pool_map_matches_sequential () =
+  let xs = Array.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      let got = Pool.with_pool ~jobs (fun pool -> Pool.map pool f xs) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected got)
+    widths
+
+let test_pool_map_order_under_skew () =
+  (* Uneven task costs scramble the claim order; results must still come
+     back in input order at every width. *)
+  let xs = Array.init 64 Fun.id in
+  let f x =
+    if x mod 3 = 0 then begin
+      (* burn some cycles so late tasks can finish first *)
+      let acc = ref 0 in
+      for i = 1 to 20_000 do
+        acc := !acc + (i mod 7)
+      done;
+      ignore !acc
+    end;
+    10 * x
+  in
+  List.iter
+    (fun jobs ->
+      let got = Pool.with_pool ~jobs (fun pool -> Pool.map pool f xs) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        (Array.map (fun x -> 10 * x) xs)
+        got)
+    widths
+
+let test_pool_map_empty_and_singleton () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          check_int "empty" 0 (Array.length (Pool.map pool succ [||]));
+          Alcotest.(check (array int)) "singleton" [| 42 |]
+            (Pool.map pool succ [| 41 |]);
+          Alcotest.(check (list int)) "map_list" [ 2; 3; 4 ]
+            (Pool.map_list pool succ [ 1; 2; 3 ])))
+    widths
+
+let test_pool_exception_propagation () =
+  (* The lowest-index failing task's exception must surface, at every
+     width — exactly what a sequential loop would raise first. *)
+  let f x = if x >= 7 then failwith (Printf.sprintf "boom %d" x) else x in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "jobs=%d" jobs)
+            (Failure "boom 7")
+            (fun () -> ignore (Pool.map pool f (Array.init 32 Fun.id)))))
+    widths
+
+let test_pool_nested_map_rejected () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let nested_rejected =
+        Pool.map pool
+          (fun _ ->
+            try
+              ignore (Pool.map pool succ [| 1 |]);
+              false
+            with Invalid_argument _ -> true)
+          [| 0; 1; 2; 3 |]
+      in
+      check "every nested map raises" true (Array.for_all Fun.id nested_rejected))
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~jobs:3 in
+  check_int "jobs" 3 (Pool.jobs pool);
+  Alcotest.(check (array int)) "usable" [| 1; 2 |] (Pool.map pool succ [| 0; 1 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Exec.Pool.map: pool was shut down") (fun () ->
+      ignore (Pool.map pool succ [| 0 |]))
+
+let test_pool_jobs_one_spawns_nothing () =
+  (* A width-1 pool is a plain loop: map works even after shutdown
+     because there is nothing to shut down. *)
+  let pool = Pool.create ~jobs:1 in
+  Pool.shutdown pool;
+  Alcotest.(check (array int)) "still a loop" [| 5 |] (Pool.map pool succ [| 4 |])
+
+let test_pool_create_rejects_bad_width () =
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Exec.Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+let test_pool_default_jobs_env () =
+  let set v = Unix.putenv "MAXIS_JOBS" v in
+  set "3";
+  check_int "explicit" 3 (Pool.default_jobs ());
+  set "garbage";
+  check_int "garbage -> 1" 1 (Pool.default_jobs ());
+  set "-2";
+  check_int "negative -> 1" 1 (Pool.default_jobs ());
+  set "auto";
+  check "auto >= 1" true (Pool.default_jobs () >= 1);
+  set ""
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let tmp_dir = "exec_cache_test"
+
+let fresh_cache () =
+  let c = Cache.create ~dir:tmp_dir () in
+  Cache.clear c;
+  c
+
+let some_key ?(solver = "s") () =
+  Cache.key ~family:"fam" ~params:"alpha=1, ell=2" ~seed:11 ~solver ()
+
+let test_cache_round_trip () =
+  let c = fresh_cache () in
+  let k = some_key () in
+  check "cold find" true (Cache.find c k = None);
+  (* Binary-hostile payload: newlines, NUL, quotes. *)
+  let payload = "line1\nline2\x00\"quoted\"\r\ntail" in
+  Cache.store c k payload;
+  (match Cache.find c k with
+  | Some got -> check_string "payload" payload got
+  | None -> Alcotest.fail "expected a hit");
+  let s = Cache.stats c in
+  check_int "hits" 1 s.Cache.hits;
+  check_int "misses" 1 s.Cache.misses;
+  check_int "stores" 1 s.Cache.stores;
+  check_int "bytes_written" (String.length payload) s.Cache.bytes_written;
+  Cache.clear c
+
+let test_cache_key_digest_stable () =
+  (* Pinned digest: if this moves, every persisted cache silently
+     invalidates — bump schema_version instead of changing key layout. *)
+  let k =
+    Cache.key ~family:"linear" ~params:"alpha=1, ell=4, t=3" ~seed:2020
+      ~solver:"exact-mis" ()
+  in
+  check_string "canonical"
+    "v1|family=linear|params=alpha=1, ell=4, t=3|seed=2020|solver=exact-mis|extra="
+    (Cache.canonical k);
+  check_string "digest" "54d5f946fd36143a0d6531d1312b6577" (Cache.digest_hex k)
+
+let test_cache_distinct_keys () =
+  let base = Cache.digest_hex (some_key ()) in
+  check "solver varies digest" true
+    (base <> Cache.digest_hex (some_key ~solver:"other" ()));
+  check "extra varies digest" true
+    (base
+    <> Cache.digest_hex
+         (Cache.key ~extra:"x" ~family:"fam" ~params:"alpha=1, ell=2" ~seed:11
+            ~solver:"s" ()))
+
+let entry_paths () =
+  (* Every *.entry file under the two-level cache tree. *)
+  Sys.readdir tmp_dir |> Array.to_list
+  |> List.concat_map (fun shard ->
+         let d = Filename.concat tmp_dir shard in
+         if Sys.is_directory d then
+           Sys.readdir d |> Array.to_list
+           |> List.filter_map (fun f ->
+                  if Filename.check_suffix f ".entry" then
+                    Some (Filename.concat d f)
+                  else None)
+         else [])
+
+let test_cache_corruption_is_a_miss () =
+  let c = fresh_cache () in
+  let k = some_key () in
+  Cache.store c k "precious result";
+  (* Flip payload bytes in place: digest check must reject the entry. *)
+  (match entry_paths () with
+  | [ path ] ->
+      let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+      seek_out oc (out_channel_length oc - 3);
+      output_string oc "XXX";
+      close_out oc
+  | ps -> Alcotest.fail (Printf.sprintf "expected 1 entry, found %d" (List.length ps)));
+  check "corrupt entry is a miss" true (Cache.find c k = None);
+  check "errors counted" true ((Cache.stats c).Cache.errors > 0);
+  (* memo recomputes and heals the entry. *)
+  check_string "memo heals" "fresh" (Cache.memo c k (fun () -> "fresh"));
+  check "healed" true (Cache.find c k = Some "fresh");
+  Cache.clear c
+
+let test_cache_truncation_is_a_miss () =
+  let c = fresh_cache () in
+  let k = some_key () in
+  Cache.store c k (String.make 256 'z');
+  (match entry_paths () with
+  | [ path ] ->
+      (* Chop the file mid-payload. *)
+      let ic = open_in_bin path in
+      let head = really_input_string ic 40 in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc head;
+      close_out oc
+  | _ -> Alcotest.fail "expected 1 entry");
+  check "truncated entry is a miss" true (Cache.find c k = None);
+  Cache.clear c
+
+let test_cache_memo_value () =
+  let c = fresh_cache () in
+  let k = some_key () in
+  let calls = ref 0 in
+  let compute () = incr calls; 1234 in
+  let encode = string_of_int and decode = int_of_string_opt in
+  check_int "computed" 1234 (Cache.memo_value c k ~encode ~decode compute);
+  check_int "cached" 1234 (Cache.memo_value c k ~encode ~decode compute);
+  check_int "one compute" 1 !calls;
+  (* A payload the decoder rejects counts as corrupt and recomputes. *)
+  Cache.store c k "not-an-int";
+  check_int "recomputed" 1234 (Cache.memo_value c k ~encode ~decode compute);
+  check_int "two computes" 2 !calls;
+  Cache.clear c
+
+let test_cache_disabled () =
+  let c = Cache.disabled () in
+  check "disabled" true (not (Cache.enabled c));
+  Cache.store c (some_key ()) "x";
+  check "never hits" true (Cache.find c (some_key ()) = None);
+  let s = Cache.stats c in
+  check_int "no counters" 0 (s.Cache.hits + s.Cache.misses + s.Cache.stores)
+
+let test_cache_parallel_memo () =
+  (* Hammer one key from several domains: no crash, correct value. *)
+  let c = fresh_cache () in
+  let k = some_key () in
+  let results =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Pool.map pool
+          (fun i -> Cache.memo c k (fun () -> string_of_int (1000 + (i * 0))))
+          (Array.init 32 Fun.id))
+  in
+  check "all agree" true (Array.for_all (fun r -> r = "1000") results);
+  Cache.clear c;
+  check "clear removes dir" true (not (Sys.file_exists tmp_dir))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel exact solver *)
+
+let gadget_instances () =
+  (* >= 20 seeded gadget instances across both families and sides. *)
+  let insts = ref [] in
+  List.iter
+    (fun (t, ell) ->
+      let p = Maxis_core.Params.make ~alpha:1 ~ell ~players:t in
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun intersecting ->
+              let rng = Prng.create seed in
+              let x =
+                Commcx.Inputs.gen_promise rng
+                  ~k:(Maxis_core.Params.k p)
+                  ~t ~intersecting
+              in
+              let inst = Maxis_core.Linear_family.instance p x in
+              insts := inst.Maxis_core.Family.graph :: !insts)
+            [ true; false ])
+        [ 1; 2; 3 ])
+    [ (2, 4); (3, 4); (2, 6); (4, 3) ];
+  List.rev !insts
+
+let test_solve_par_matches_solve_on_gadgets () =
+  let graphs = gadget_instances () in
+  check "enough instances" true (List.length graphs >= 20);
+  Pool.with_pool ~jobs:3 (fun pool ->
+      List.iteri
+        (fun i g ->
+          let seq = Mis.Exact.solve g in
+          let par = Mis.Exact.solve_par ~pool g in
+          check_int
+            (Printf.sprintf "weight on instance %d" i)
+            seq.Mis.Exact.weight par.Mis.Exact.weight;
+          check
+            (Printf.sprintf "witness valid on instance %d" i)
+            true
+            (Mis.Verify.solution_ok g ~claimed_weight:par.Mis.Exact.weight
+               par.Mis.Exact.set))
+        graphs)
+
+let test_solve_par_matches_solve_on_random_graphs () =
+  let rng = Prng.create 0xdead in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      for i = 1 to 15 do
+        let g = Build.erdos_renyi rng (10 + (i mod 20)) 0.3 in
+        Build.random_weights rng g 7;
+        let seq = Mis.Exact.solve g in
+        let par = Mis.Exact.solve_par ~pool g in
+        check_int (Printf.sprintf "random %d" i) seq.Mis.Exact.weight
+          par.Mis.Exact.weight;
+        check
+          (Printf.sprintf "random witness %d" i)
+          true
+          (Mis.Verify.solution_ok g ~claimed_weight:par.Mis.Exact.weight
+             par.Mis.Exact.set)
+      done)
+
+let test_solve_par_deterministic () =
+  let rng = Prng.create 99 in
+  let g = Build.erdos_renyi rng 30 0.25 in
+  Build.random_weights rng g 5;
+  let runs =
+    List.map
+      (fun () -> Pool.with_pool ~jobs:3 (fun pool -> Mis.Exact.solve_par ~pool g))
+      [ (); (); () ]
+  in
+  match runs with
+  | r0 :: rest ->
+      List.iter
+        (fun r ->
+          check_int "weight stable" r0.Mis.Exact.weight r.Mis.Exact.weight;
+          check "witness stable" true (Bitset.equal r0.Mis.Exact.set r.Mis.Exact.set);
+          check_int "nodes stable" r0.Mis.Exact.nodes_explored
+            r.Mis.Exact.nodes_explored)
+        rest
+  | [] -> assert false
+
+let test_solve_par_width_one_is_solve () =
+  let rng = Prng.create 7 in
+  let g = Build.erdos_renyi rng 25 0.3 in
+  Build.random_weights rng g 4;
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let seq = Mis.Exact.solve g in
+      let par = Mis.Exact.solve_par ~pool g in
+      check_int "weight" seq.Mis.Exact.weight par.Mis.Exact.weight;
+      check "same set" true (Bitset.equal seq.Mis.Exact.set par.Mis.Exact.set);
+      check_int "same node count" seq.Mis.Exact.nodes_explored
+        par.Mis.Exact.nodes_explored)
+
+let test_solve_par_empty_and_tiny () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      check_int "empty graph" 0
+        (Mis.Exact.solve_par ~pool (Wgraph.Graph.create 0)).Mis.Exact.weight;
+      let g = Build.complete 3 in
+      check_int "triangle" 1 (Mis.Exact.solve_par ~pool g).Mis.Exact.weight)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_pool_map_matches_sequential;
+          Alcotest.test_case "order under skew" `Quick
+            test_pool_map_order_under_skew;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_pool_map_empty_and_singleton;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "nested map rejected" `Quick
+            test_pool_nested_map_rejected;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "jobs=1 is a loop" `Quick
+            test_pool_jobs_one_spawns_nothing;
+          Alcotest.test_case "bad width rejected" `Quick
+            test_pool_create_rejects_bad_width;
+          Alcotest.test_case "MAXIS_JOBS parsing" `Quick
+            test_pool_default_jobs_env;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round trip" `Quick test_cache_round_trip;
+          Alcotest.test_case "digest stability" `Quick
+            test_cache_key_digest_stable;
+          Alcotest.test_case "distinct keys" `Quick test_cache_distinct_keys;
+          Alcotest.test_case "corruption is a miss" `Quick
+            test_cache_corruption_is_a_miss;
+          Alcotest.test_case "truncation is a miss" `Quick
+            test_cache_truncation_is_a_miss;
+          Alcotest.test_case "memo_value" `Quick test_cache_memo_value;
+          Alcotest.test_case "disabled cache" `Quick test_cache_disabled;
+          Alcotest.test_case "parallel memo" `Quick test_cache_parallel_memo;
+        ] );
+      ( "solve_par",
+        [
+          Alcotest.test_case "gadget instances" `Quick
+            test_solve_par_matches_solve_on_gadgets;
+          Alcotest.test_case "random graphs" `Quick
+            test_solve_par_matches_solve_on_random_graphs;
+          Alcotest.test_case "deterministic" `Quick test_solve_par_deterministic;
+          Alcotest.test_case "width 1 is solve" `Quick
+            test_solve_par_width_one_is_solve;
+          Alcotest.test_case "degenerate graphs" `Quick
+            test_solve_par_empty_and_tiny;
+        ] );
+    ]

@@ -305,6 +305,23 @@ let test_percentile () =
   Alcotest.(check (float 1e-9)) "p90" 90.0 (Stdx.Stats.percentile xs 90.0);
   Alcotest.(check (float 1e-9)) "p100" 100.0 (Stdx.Stats.percentile xs 100.0)
 
+(* Regression: sorting with polymorphic [compare] treats NaN
+   incoherently (every comparison against NaN can answer [false]), so a
+   NaN anywhere in the sample could leave finite entries unsorted and
+   silently shift every percentile.  [Float.compare] gives NaN a fixed
+   total-order position instead. *)
+let test_percentile_nan () =
+  let xs = [| 5.0; Float.nan; 1.0; 4.0; 2.0; 3.0 |] in
+  (* NaN sorts below every number under Float.compare, so only the
+     bottom percentile sees it; the finite suffix stays correctly
+     ordered and the upper percentiles are exact. *)
+  Alcotest.(check bool) "p0 is the NaN slot" true
+    (Float.is_nan (Stdx.Stats.percentile xs 0.0));
+  Alcotest.(check (float 1e-9)) "p100 is the finite maximum" 5.0
+    (Stdx.Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p50 unaffected" 2.0
+    (Stdx.Stats.percentile xs 50.0)
+
 (* ------------------------------------------------------------------ *)
 (* Tablefmt *)
 
@@ -433,6 +450,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "single" `Quick test_stats_single;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile NaN" `Quick test_percentile_nan;
         ] );
       ( "tablefmt",
         [
