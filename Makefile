@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-par verify examples soak faults figures cache-clean clean
+.PHONY: all build test bench bench-par verify examples soak faults figures kill-resume cache-clean journal-clean clean
 
 all: build
 
@@ -42,9 +42,18 @@ faults:
 figures:
 	dune exec bench/main.exe -- F1-F6
 
+# Crash-safety check: SIGKILL a sweep mid-run, resume it, diff the final
+# CSVs against an uninterrupted reference (docs/RESILIENCE.md).
+kill-resume:
+	bash scripts/kill_resume.sh
+
 # Drop cached exact-MIS results; the next run recomputes and repopulates.
 cache-clean:
 	rm -rf results/cache
+
+# Drop sweep journals (completion records only; cached values survive).
+journal-clean:
+	rm -rf results/journal
 
 clean:
 	dune clean

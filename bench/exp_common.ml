@@ -26,6 +26,10 @@ let rng_for id = Stdx.Prng.create (Hashtbl.hash id)
 
 let pool = lazy (Exec.Pool.create ~jobs:(Exec.Pool.default_jobs ()))
 
+(* Exact solves actually computed this run (cache misses).  Atomic: the
+   computes run on pool domains. *)
+let solves = Atomic.make 0
+
 let cache =
   lazy
     (let c =
@@ -40,10 +44,59 @@ let cache =
            Exec.Cache.create ~dir ()
      in
      at_exit (fun () ->
-         Format.eprintf "[exec] jobs=%d cache: %a@."
+         Format.eprintf "[exec] jobs=%d solves=%d cache: %a@."
            (Exec.Pool.default_jobs ())
+           (Atomic.get solves)
            Exec.Cache.pp_stats (Exec.Cache.stats c));
      c)
+
+(* Crash-safe sweep journal, opted into with MAXIS_RUN_ID=<id> (resume an
+   interrupted run of the same id with MAXIS_RESUME=1); see
+   docs/RESILIENCE.md.  The stats line goes to stderr like the cache
+   counters: it is the only run-dependent output. *)
+let journal =
+  lazy
+    (match Sys.getenv_opt "MAXIS_RUN_ID" with
+    | None | Some "" -> Exec.Journal.disabled ()
+    | Some run_id ->
+        let resume = Sys.getenv_opt "MAXIS_RESUME" = Some "1" in
+        let dir =
+          Option.value
+            (Sys.getenv_opt "MAXIS_JOURNAL_DIR")
+            ~default:Exec.Journal.default_dir
+        in
+        let j = Exec.Journal.open_ ~dir ~resume ~run_id () in
+        at_exit (fun () ->
+            Format.eprintf "[journal] %a@." Exec.Journal.pp_stats j;
+            Exec.Journal.close j);
+        j)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful interruption.
+
+   SIGINT/SIGTERM flush whatever tables are complete so far (experiments
+   register theirs with [on_interrupt]) and print how to resume, then
+   exit through [at_exit] — pool shutdown and the counter lines
+   included.  A SIGKILL skips all of this and loses nothing but the
+   in-flight cells: the journal is durable per completed cell. *)
+
+let interrupt_hooks : (unit -> unit) list ref = ref []
+
+let on_interrupt f = interrupt_hooks := f :: !interrupt_hooks
+
+let () =
+  Exec.Journal.on_termination (fun signal ->
+      Format.eprintf "@.[bench] %s: flushing partial tables@."
+        (if signal = Sys.sigterm then "SIGTERM" else "SIGINT");
+      List.iter (fun f -> try f () with _ -> ()) (List.rev !interrupt_hooks);
+      if Lazy.is_val journal then begin
+        let j = Lazy.force journal in
+        if Exec.Journal.enabled j then
+          Format.eprintf
+            "[journal] %a@.[journal] resume with MAXIS_RUN_ID unchanged and \
+             MAXIS_RESUME=1@."
+            Exec.Journal.pp_stats j
+      end)
 
 let linear_input rng p ~intersecting =
   Commcx.Inputs.gen_promise rng ~k:(P.k p) ~t:p.P.players ~intersecting
@@ -70,15 +123,19 @@ let decode_opt s =
 
 (* [solve] must be pure in [x]; its (opt, claim-holds) result is cached
    under a digest of the input, so warm re-runs skip the exact solve (and
-   the claim re-check) entirely. *)
+   the claim re-check) entirely.  With a journal each solved cell is also
+   recorded as complete the moment its value is safely in the cache, so a
+   killed sweep resumes without re-solving. *)
 let solve_cached ~family ~params ~solver solve x =
   let key =
     Exec.Cache.key ~family ~params ~seed:0 ~solver
       ~extra:(Exec.Cache.fingerprint (Commcx.Inputs.canonical x))
       ()
   in
-  Exec.Cache.memo_value (Lazy.force cache) key ~encode:encode_opt
-    ~decode:decode_opt (fun () -> solve x)
+  Exec.Journal.memo_value (Lazy.force journal) (Lazy.force cache) key
+    ~encode:encode_opt ~decode:decode_opt (fun () ->
+      Atomic.incr solves;
+      solve x)
 
 (* Mean measured OPT over [trials] random promise inputs, solves fanned
    out over the shared pool.  Inputs are drawn sequentially from [rng]

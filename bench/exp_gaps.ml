@@ -34,6 +34,9 @@ let t1_gap () =
         T.column ~align:T.Left "claims";
       ]
   in
+  (* Rows are added only once fully solved, so on SIGINT/SIGTERM this
+     prints exactly the completed prefix of the sweep. *)
+  on_interrupt (fun () -> prerr_string (T.render table));
   List.iter
     (fun t ->
       let ell = (t * t) + 1 in
@@ -93,6 +96,7 @@ let t2_gap () =
         T.column ~align:T.Left "claims";
       ]
   in
+  on_interrupt (fun () -> prerr_string (T.render table));
   List.iter
     (fun (t, ell) ->
       let p = P.make ~alpha:1 ~ell ~players:t in

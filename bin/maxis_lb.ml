@@ -54,20 +54,136 @@ let no_cache_arg =
     & info [ "no-cache" ]
         ~doc:
           "Do not read or write the on-disk result cache under \
-           results/cache/ (subcommands that perform no exact solves accept \
-           the flag as a no-op).")
+           results/cache/.")
+
+(* ------------------------------------------------------------------ *)
+(* Exit-code taxonomy (documented in docs/RESILIENCE.md and the man
+   pages):
+     0    success — every check passed / output produced
+     2    a claim check ran to completion and the claimed bound is
+          violated
+     3    budget exhausted — some checks are inconclusive (certified
+          intervals printed), none failed
+     4    I/O error (cache, journal or output file) that survived the
+          bounded retries
+     124  command-line usage error (cmdliner's convention)
+     130/143  interrupted by SIGINT/SIGTERM (after flushing the journal)
+   Codes 2/3/4 never overlap: failure beats inconclusive, and an I/O
+   error aborts the audit before it can conclude. *)
+
+let exit_io_error = 4
+
+let exits =
+  Cmd.Exit.info 0 ~doc:"on success (all checks passed, where applicable)."
+  :: Cmd.Exit.info 2
+       ~doc:"when a claim check completed and the claimed bound is violated."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "when the compute budget was exhausted and some checks are \
+          inconclusive (none failed); certified OPT intervals are printed."
+  :: Cmd.Exit.info exit_io_error
+       ~doc:"on a cache/journal/output I/O error that survived the retries."
+  :: Cmd.Exit.defaults
+
+(* I/O failures that survive Exec.Error's bounded retries surface here as
+   a distinct exit code instead of a backtrace. *)
+let with_io_guard f =
+  try f () with
+  | Exec.Error.Error k ->
+      Format.eprintf "maxis_lb: %s@." (Exec.Error.to_string k);
+      exit_io_error
+  | Sys_error m ->
+      Format.eprintf "maxis_lb: %s@." m;
+      exit_io_error
 
 (* Every parallel subcommand funnels through here so a bad --jobs is a
-   usage error, not an escaping Invalid_argument. *)
+   usage error (cmdliner's 124), not an escaping Invalid_argument. *)
 let with_pool_checked jobs f =
   if jobs < 1 then begin
     Format.eprintf "maxis_lb: --jobs must be >= 1 (got %d)@." jobs;
-    exit 2
+    exit 124
   end;
   Exec.Pool.with_pool ~jobs f
 
 let make_cache ~no_cache =
   if no_cache then Exec.Cache.disabled () else Exec.Cache.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and journals *)
+
+let budget_nodes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-nodes" ] ~docv:"N"
+        ~doc:
+          "Cap every exact solve at $(docv) branch-and-bound nodes \
+           (deterministic).  An exhausted solve degrades to a certified \
+           interval lb <= OPT <= ub; checks it cannot decide exit with \
+           code 3 instead of failing.")
+
+let budget_seconds_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-seconds" ] ~docv:"S"
+        ~doc:
+          "Wall-clock deadline for the whole audit's solves (best-effort, \
+           checked between branch-and-bound nodes; unlike --budget-nodes \
+           the set of completed checks is not deterministic).")
+
+let make_budget ~nodes ~seconds =
+  match (nodes, seconds) with
+  | None, None -> Exec.Budget.unlimited
+  | _ ->
+      Exec.Budget.create ?max_nodes:nodes ?deadline_s:seconds
+        ~clock:Unix.gettimeofday ()
+
+let run_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run-id" ] ~docv:"ID"
+        ~doc:
+          "Journal completed cells under results/journal/$(docv).journal \
+           so a killed run can be resumed with $(b,--resume).  Without \
+           $(b,--resume) an existing journal of the same id is restarted \
+           from scratch.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume the journal named by $(b,--run-id): cells it records \
+           are not re-solved (their values re-materialize from the \
+           cache), and the output is byte-identical to an uninterrupted \
+           run.")
+
+let make_journal ~run_id ~resume =
+  match run_id with
+  | None ->
+      if resume then begin
+        Format.eprintf "maxis_lb: --resume requires --run-id@.";
+        exit 124
+      end;
+      Exec.Journal.disabled ()
+  | Some run_id -> Exec.Journal.open_ ~resume ~run_id ()
+
+(* On SIGINT/SIGTERM: the journal is already durable per cell, so just
+   tell the user where the run stands and how to pick it up. *)
+let install_termination journal =
+  if Exec.Journal.enabled journal then
+    Exec.Journal.on_termination (fun _signal ->
+        Format.eprintf "@.maxis_lb: interrupted; journal: %a@."
+          Exec.Journal.pp_stats journal;
+        Format.eprintf
+          "maxis_lb: resume with the same --run-id plus --resume@.")
+
+let finish_journal journal =
+  if Exec.Journal.enabled journal then
+    Format.eprintf "journal: %a@." Exec.Journal.pp_stats journal;
+  Exec.Journal.close journal
 
 let params alpha ell players = P.make ~alpha ~ell ~players
 
@@ -118,31 +234,38 @@ let build_cmd =
 (* verify *)
 
 let verify_cmd =
-  let run alpha ell players seed samples jobs no_cache =
+  let run alpha ell players seed samples jobs no_cache budget_nodes
+      budget_seconds run_id resume =
+    with_io_guard @@ fun () ->
     let p = params alpha ell players in
     Format.printf "parameters: %a@." P.pp p;
     let cache = make_cache ~no_cache in
+    let budget = make_budget ~nodes:budget_nodes ~seconds:budget_seconds in
+    let journal = make_journal ~run_id ~resume in
+    install_termination journal;
     let items =
       with_pool_checked jobs (fun pool ->
-          Maxis_core.Verification.run ~seed ~samples ~pool ~cache p)
+          Maxis_core.Verification.run ~seed ~samples ~pool ~cache ~budget
+            ~journal p)
     in
     if Exec.Cache.enabled cache then
       Format.eprintf "cache: %a@." Exec.Cache.pp_stats (Exec.Cache.stats cache);
+    finish_journal journal;
     List.iter
       (fun i -> Format.printf "%a@." Maxis_core.Verification.pp_item i)
       items;
-    if Maxis_core.Verification.all_ok items then begin
-      Format.printf "all %d checks passed@." (List.length items);
-      0
-    end
-    else begin
-      let failures =
-        List.length
-          (List.filter (fun i -> not i.Maxis_core.Verification.ok) items)
-      in
-      Format.printf "%d FAILURES@." failures;
-      1
-    end
+    let count pred = List.length (List.filter pred items) in
+    let code = Maxis_core.Verification.exit_code items in
+    (match code with
+    | 0 -> Format.printf "all %d checks passed@." (List.length items)
+    | 2 -> Format.printf "%d FAILURES@." (count Maxis_core.Verification.failed)
+    | _ ->
+        Format.printf
+          "%d checks inconclusive (budget exhausted), %d passed, none \
+           failed@."
+          (count Maxis_core.Verification.inconclusive)
+          (count Maxis_core.Verification.passed));
+    code
   in
   let samples_arg =
     Arg.(
@@ -150,31 +273,48 @@ let verify_cmd =
       & info [ "samples" ] ~docv:"N" ~doc:"Randomized-check repetitions.")
   in
   Cmd.v
-    (Cmd.info "verify"
+    (Cmd.info "verify" ~exits
        ~doc:
          "Audit the code distance, Properties 1-3, Claims, Definition-4 \
-          conditions and the Theorem-5 reduction at given parameters.")
+          conditions and the Theorem-5 reduction at given parameters.  \
+          Exits 0 when every check passes, 2 on a violated claim, 3 when \
+          a compute budget left checks inconclusive, 4 on an I/O error.")
     Term.(
       const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg $ samples_arg
-      $ jobs_arg $ no_cache_arg)
+      $ jobs_arg $ no_cache_arg $ budget_nodes_arg $ budget_seconds_arg
+      $ run_id_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bounds *)
 
 let bounds_cmd =
-  let run alpha ell players epsilon jobs no_cache =
-    ignore (no_cache : bool) (* bounds performs no exact solves *);
+  let run alpha ell players epsilon jobs no_cache run_id resume =
+    with_io_guard @@ fun () ->
     let p = params alpha ell players in
-    let show (r : Maxis_core.Theorems.report) =
-      Format.printf "%a@." Maxis_core.Theorems.pp r
-    in
+    let cache = make_cache ~no_cache in
+    let journal = make_journal ~run_id ~resume in
+    install_termination journal;
+    (* Each report is one journaled cell: cheap here, but the same
+       record-on-completion idiom the sweeps rely on — and it makes
+       bounds runs resumable for free. *)
     let reports =
       with_pool_checked jobs (fun pool ->
           Exec.Pool.map_list pool
-            (fun theorem -> theorem p)
-            [ Maxis_core.Theorems.linear; Maxis_core.Theorems.quadratic ])
+            (fun (solver, theorem) ->
+              let key =
+                Exec.Cache.key ~family:"bounds"
+                  ~params:(Format.asprintf "%a" P.pp p)
+                  ~seed:0 ~solver ()
+              in
+              Exec.Journal.memo journal cache key (fun () ->
+                  Format.asprintf "%a" Maxis_core.Theorems.pp (theorem p)))
+            [
+              ("theorem1-linear", Maxis_core.Theorems.linear);
+              ("theorem2-quadratic", Maxis_core.Theorems.quadratic);
+            ])
     in
-    List.iter show reports;
+    finish_journal journal;
+    List.iter (fun r -> Format.printf "%s@." r) reports;
     (match epsilon with
     | None -> ()
     | Some epsilon ->
@@ -213,10 +353,10 @@ let bounds_cmd =
           ~doc:"Also print the epsilon-level theorem statements.")
   in
   Cmd.v
-    (Cmd.info "bounds" ~doc:"Print the Theorem 1/2 round bounds.")
+    (Cmd.info "bounds" ~exits ~doc:"Print the Theorem 1/2 round bounds.")
     Term.(
       const run $ alpha_arg $ ell_arg $ players_arg $ epsilon_arg $ jobs_arg
-      $ no_cache_arg)
+      $ no_cache_arg $ run_id_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* figure *)
@@ -400,21 +540,31 @@ let export_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let run max_t jobs no_cache =
-    ignore (no_cache : bool) (* the formula sweep performs no exact solves *);
+  let run max_t jobs no_cache run_id resume =
+    with_io_guard @@ fun () ->
+    let cache = make_cache ~no_cache in
+    let journal = make_journal ~run_id ~resume in
+    install_termination journal;
     Format.printf "t, ell, formal lo/hi ratio, defeated approximation@.";
     let ts = Array.init (Stdlib.max 0 (max_t - 1)) (fun i -> i + 2) in
     let rows =
       with_pool_checked jobs (fun pool ->
           Exec.Pool.map pool
             (fun t ->
-              let p = P.make ~alpha:1 ~ell:(4 * t * t) ~players:t in
-              Printf.sprintf "%d, %d, %.4f, (1/2 + %.4f)" t (4 * t * t)
-                (float_of_int (LF.low_weight p)
-                /. float_of_int (LF.high_weight p))
-                (1.0 /. float_of_int t))
+              let key =
+                Exec.Cache.key ~family:"sweep-formula"
+                  ~params:(Printf.sprintf "t=%d" t)
+                  ~seed:0 ~solver:"gap-ratio" ()
+              in
+              Exec.Journal.memo journal cache key (fun () ->
+                  let p = P.make ~alpha:1 ~ell:(4 * t * t) ~players:t in
+                  Printf.sprintf "%d, %d, %.4f, (1/2 + %.4f)" t (4 * t * t)
+                    (float_of_int (LF.low_weight p)
+                    /. float_of_int (LF.high_weight p))
+                    (1.0 /. float_of_int t)))
             ts)
     in
+    finish_journal journal;
     Array.iter print_endline rows;
     0
   in
@@ -422,8 +572,8 @@ let sweep_cmd =
     Arg.(value & opt int 16 & info [ "max-t" ] ~docv:"T" ~doc:"Largest t.")
   in
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Sweep t and print the closing gap ratio.")
-    Term.(const run $ max_t_arg $ jobs_arg $ no_cache_arg)
+    (Cmd.info "sweep" ~exits ~doc:"Sweep t and print the closing gap ratio.")
+    Term.(const run $ max_t_arg $ jobs_arg $ no_cache_arg $ run_id_arg $ resume_arg)
 
 let () =
   let doc = "lower-bound constructions for approximate MaxIS in CONGEST" in

@@ -51,4 +51,50 @@ val claim6 : Params.t -> Commcx.Inputs.t -> check
 val claim7 : Params.t -> Commcx.Inputs.t -> check
 (** Quadratic family, pairwise disjoint ⇒ OPT ≤ [3(t+1)ℓ + 3αt³]. *)
 
+(** {1 Budgeted checks}
+
+    Each [claimN_budgeted] runs the same check under an {!Exec.Budget}.
+    When the solver completes (always, under {!Exec.Budget.unlimited})
+    the outcome is [Decided] and identical to the unbudgeted check.  When
+    the budget exhausts, the solver's certified interval [lb <= OPT <= ub]
+    may still clear the claimed bound from one side — then the claim is
+    [Decided] (with [opt] reporting the deciding interval end rather than
+    the unknown true optimum) — otherwise it is [Unresolved], carrying
+    the interval and the exhaustion reason. *)
+
+type unresolved = {
+  u_name : string;
+  u_kind : [ `Lower | `Upper ];
+  u_bound : int;
+  lb : int;  (** certified: an incumbent independent set achieves it *)
+  ub : int;  (** certified relaxation bound *)
+  reason : Exec.Budget.reason;
+}
+
+type outcome = Decided of check | Unresolved of unresolved
+
+val claim1_budgeted :
+  budget:Exec.Budget.t -> Params.t -> Commcx.Inputs.t -> outcome
+
+val claim2_budgeted :
+  budget:Exec.Budget.t -> Params.t -> Commcx.Inputs.t -> outcome
+
+val claim3_budgeted :
+  budget:Exec.Budget.t -> Params.t -> Commcx.Inputs.t -> outcome
+
+val claim5_budgeted :
+  budget:Exec.Budget.t -> Params.t -> Commcx.Inputs.t -> outcome
+
+val claim4_budgeted : budget:Exec.Budget.t -> Params.t -> ms:int array -> outcome
+
+val corollary2_budgeted :
+  budget:Exec.Budget.t -> Params.t -> ms:int array -> outcome
+
+val claim6_budgeted :
+  budget:Exec.Budget.t -> Params.t -> Commcx.Inputs.t -> outcome
+
+val claim7_budgeted :
+  budget:Exec.Budget.t -> Params.t -> Commcx.Inputs.t -> outcome
+
 val pp : Format.formatter -> check -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,9 +1,21 @@
 module Inputs = Commcx.Inputs
 module Prng = Stdx.Prng
 
-type item = { name : string; ok : bool; detail : string }
+type status =
+  | Pass
+  | Fail
+  | Inconclusive of { reason : string; lb : int; ub : int }
 
-let item name ok detail = { name; ok; detail }
+type item = { name : string; status : status; detail : string }
+
+let item name ok detail = { name; status = (if ok then Pass else Fail); detail }
+
+let passed i = i.status = Pass
+
+let failed i = i.status = Fail
+
+let inconclusive i =
+  match i.status with Inconclusive _ -> true | Pass | Fail -> false
 
 let of_property (r : Properties.result) =
   item r.Properties.name r.Properties.holds r.Properties.detail
@@ -14,36 +26,80 @@ let of_claim (c : Claims.check) =
        (match c.Claims.kind with `Lower -> ">=" | `Upper -> "<=")
        c.Claims.bound)
 
+let of_outcome = function
+  | Claims.Decided c -> of_claim c
+  | Claims.Unresolved u ->
+      {
+        name = u.Claims.u_name;
+        status =
+          Inconclusive
+            {
+              reason = Exec.Budget.reason_to_string u.Claims.reason;
+              lb = u.Claims.lb;
+              ub = u.Claims.ub;
+            };
+        detail =
+          Printf.sprintf "OPT in [%d,%d], bound=%d undecided" u.Claims.lb
+            u.Claims.ub u.Claims.u_bound;
+      }
+
 (* ------------------------------------------------------------------ *)
 (* Result caching.
 
    The expensive checks (exact MaxIS solves behind the claims and
-   Property 3) are pure functions of the generated inputs, so their
-   [item]s can be cached under a digest of those inputs.  Input
+   Property 3) are pure functions of the generated inputs and the budget,
+   so their [item]s can be cached under a digest of those inputs (the
+   budget fingerprint joins the key whenever it is finite — a budgeted
+   interval must never answer for an exact solve, or vice versa).  Input
    {e generation} always runs — only solves are skipped — so the PRNG
    stream, and with it every sampled input, is identical with or without
    a cache. *)
 
+let encode_status = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Inconclusive { reason; lb; ub } ->
+      Printf.sprintf "inconclusive\t%s\t%d\t%d" (String.escaped reason) lb ub
+
+let decode_status s =
+  match String.split_on_char '\t' s with
+  | [ "pass" ] -> Some Pass
+  | [ "fail" ] -> Some Fail
+  | [ "inconclusive"; reason; lb; ub ] -> (
+      match (int_of_string_opt lb, int_of_string_opt ub) with
+      | Some lb, Some ub -> (
+          try Some (Inconclusive { reason = Scanf.unescaped reason; lb; ub })
+          with _ -> None)
+      | _ -> None)
+  | _ -> None
+
 let encode_item i =
-  Printf.sprintf "%s\n%b\n%s" (String.escaped i.name) i.ok
+  Printf.sprintf "%s\n%s\n%s" (String.escaped i.name) (encode_status i.status)
     (String.escaped i.detail)
 
 let decode_item s =
   match String.split_on_char '\n' s with
-  | [ name; ok; detail ] -> (
-      match bool_of_string_opt ok with
-      | Some ok -> (
-          try Some { name = Scanf.unescaped name; ok; detail = Scanf.unescaped detail }
+  | [ name; status; detail ] -> (
+      match decode_status status with
+      | Some status -> (
+          try
+            Some
+              { name = Scanf.unescaped name; status; detail = Scanf.unescaped detail }
           with _ -> None)
       | None -> None)
   | _ -> None
 
-let cached_item cache ~params ~solver ~extra compute =
+let cached_item ~journal cache ~budget ~params ~solver ~extra compute =
+  let extra =
+    match Exec.Budget.fingerprint budget with
+    | "" -> extra
+    | fp -> extra ^ "|budget=" ^ fp
+  in
   let key =
     Exec.Cache.key ~family:"verify-linear" ~params ~seed:0 ~solver ~extra ()
   in
-  Exec.Cache.memo_value cache key ~encode:encode_item ~decode:decode_item
-    compute
+  Exec.Journal.memo_value journal cache key ~encode:encode_item
+    ~decode:decode_item compute
 
 let fp_input x = Exec.Cache.fingerprint (Inputs.canonical x)
 
@@ -52,7 +108,7 @@ let code_check p =
   | Ok () -> item "code distance (Theorem 4)" true "all pairs verified"
   | Error e -> item "code distance (Theorem 4)" false e
 
-let property_checks ~cache rng p ~samples =
+let property_checks ~journal ~cache ~budget rng p ~samples =
   let params = Format.asprintf "%a" Params.pp p in
   let p1 = List.map of_property (Properties.check_all_property1 p) in
   let p2 =
@@ -60,7 +116,10 @@ let property_checks ~cache rng p ~samples =
   in
   (* Property 3 on an exact optimum of a random instance.  The index
      draws are hoisted above the (cacheable) solve; neither consumes the
-     other's randomness, so the PRNG stream is unchanged. *)
+     other's randomness, so the PRNG stream is unchanged.  The property
+     quantifies over a {e maximum} independent set, so a budget-exhausted
+     solve cannot check it — the incumbent certifies only [lb] — and the
+     item degrades to [Inconclusive]. *)
   let p3 =
     if Params.k p < 2 then []
     else begin
@@ -75,18 +134,33 @@ let property_checks ~cache rng p ~samples =
       let m2 = (m1 + 1 + Prng.int rng (Params.k p - 1)) mod Params.k p in
       let extra = Printf.sprintf "%s|i=%d;j=%d;m1=%d;m2=%d" (fp_input x) i j m1 m2 in
       [
-        cached_item cache ~params ~solver:"property3" ~extra (fun () ->
-            let sol =
-              Mis.Exact.solve (Linear_family.instance p x).Family.graph
-            in
-            of_property
-              (Properties.property3 p ~i ~j ~m1 ~m2 ~set:sol.Mis.Exact.set));
+        cached_item ~journal cache ~budget ~params ~solver:"property3" ~extra
+          (fun () ->
+            match
+              Mis.Exact.solve_budgeted ~budget
+                (Linear_family.instance p x).Family.graph
+            with
+            | Mis.Exact.Complete sol ->
+                of_property
+                  (Properties.property3 p ~i ~j ~m1 ~m2 ~set:sol.Mis.Exact.set)
+            | Mis.Exact.Exhausted e ->
+                {
+                  name = Printf.sprintf "Property 3 (i=%d,j=%d,m1=%d,m2=%d)" i j m1 m2;
+                  status =
+                    Inconclusive
+                      {
+                        reason = Exec.Budget.reason_to_string e.Mis.Exact.reason;
+                        lb = e.Mis.Exact.lb;
+                        ub = e.Mis.Exact.ub;
+                      };
+                  detail = "needs an exact optimum; got certified interval only";
+                });
       ]
     end
   in
   p1 @ p2 @ p3
 
-let claim_checks ~pool ~cache rng p ~samples =
+let claim_checks ~pool ~journal ~cache ~budget rng p ~samples =
   let t = p.Params.players in
   let k = Params.k p in
   let params = Format.asprintf "%a" Params.pp p in
@@ -97,15 +171,23 @@ let claim_checks ~pool ~cache rng p ~samples =
     let xd = Inputs.gen_promise rng ~k ~t ~intersecting:false in
     let base =
       [
-        ("claim3", fp_input xi, fun () -> of_claim (Claims.claim3 p xi));
-        ("claim5", fp_input xd, fun () -> of_claim (Claims.claim5 p xd));
+        ( "claim3",
+          fp_input xi,
+          fun () -> of_outcome (Claims.claim3_budgeted ~budget p xi) );
+        ( "claim5",
+          fp_input xd,
+          fun () -> of_outcome (Claims.claim5_budgeted ~budget p xd) );
       ]
     in
     let warmup =
       if t = 2 then
         [
-          ("claim1", fp_input xi, fun () -> of_claim (Claims.claim1 p xi));
-          ("claim2", fp_input xd, fun () -> of_claim (Claims.claim2 p xd));
+          ( "claim1",
+            fp_input xi,
+            fun () -> of_outcome (Claims.claim1_budgeted ~budget p xi) );
+          ( "claim2",
+            fp_input xd,
+            fun () -> of_outcome (Claims.claim2_budgeted ~budget p xd) );
         ]
       else []
     in
@@ -117,8 +199,12 @@ let claim_checks ~pool ~cache rng p ~samples =
             (String.concat "," (List.map string_of_int (Array.to_list ms)))
         in
         [
-          ("claim4", fp_ms, fun () -> of_claim (Claims.claim4 p ~ms));
-          ("corollary2", fp_ms, fun () -> of_claim (Claims.corollary2 p ~ms));
+          ( "claim4",
+            fp_ms,
+            fun () -> of_outcome (Claims.claim4_budgeted ~budget p ~ms) );
+          ( "corollary2",
+            fp_ms,
+            fun () -> of_outcome (Claims.corollary2_budgeted ~budget p ~ms) );
         ]
       else []
     in
@@ -127,7 +213,7 @@ let claim_checks ~pool ~cache rng p ~samples =
   let tasks = List.concat_map one (List.init samples Fun.id) in
   Exec.Pool.map_list pool
     (fun (solver, extra, compute) ->
-      cached_item cache ~params ~solver ~extra compute)
+      cached_item ~journal cache ~budget ~params ~solver ~extra compute)
     tasks
 
 let condition_checks rng p =
@@ -198,19 +284,23 @@ let reduction_checks rng p =
          (Commcx.Blackboard.bits_written outcome.Player_sim.board));
   ]
 
-let run ?(seed = 0xa0d17) ?(samples = 4) ?pool ?cache p =
+let run ?(seed = 0xa0d17) ?(samples = 4) ?pool ?cache ?budget ?journal p =
   let pool =
     match pool with Some p -> p | None -> Exec.Pool.create ~jobs:1
   in
   let cache =
     match cache with Some c -> c | None -> Exec.Cache.disabled ()
   in
+  let budget = match budget with Some b -> b | None -> Exec.Budget.unlimited in
+  let journal =
+    match journal with Some j -> j | None -> Exec.Journal.disabled ()
+  in
   let rng = Prng.create seed in
   List.concat
     [
       [ code_check p ];
-      property_checks ~cache rng p ~samples;
-      claim_checks ~pool ~cache rng p ~samples;
+      property_checks ~journal ~cache ~budget rng p ~samples;
+      claim_checks ~pool ~journal ~cache ~budget rng p ~samples;
       (if Linear_family.formal_gap_valid p then
          condition_checks rng p @ reduction_checks rng p
        else
@@ -223,7 +313,17 @@ let run ?(seed = 0xa0d17) ?(samples = 4) ?pool ?cache p =
          ]);
     ]
 
-let all_ok items = List.for_all (fun i -> i.ok) items
+let all_ok items = List.for_all passed items
+
+let exit_code items =
+  if List.exists failed items then 2
+  else if List.exists inconclusive items then 3
+  else 0
 
 let pp_item ppf i =
-  Format.fprintf ppf "%-45s %s  %s" i.name (if i.ok then "ok" else "FAIL") i.detail
+  match i.status with
+  | Pass -> Format.fprintf ppf "%-45s ok  %s" i.name i.detail
+  | Fail -> Format.fprintf ppf "%-45s FAIL  %s" i.name i.detail
+  | Inconclusive { reason; lb; ub } ->
+      Format.fprintf ppf "%-45s INCONCLUSIVE  %s (%s; certified OPT in [%d,%d])"
+        i.name i.detail reason lb ub

@@ -10,29 +10,57 @@
 
     Every check is returned as an [item]; the list is the audit trail. *)
 
+type status =
+  | Pass
+  | Fail  (** the paper's assertion was checked and is violated *)
+  | Inconclusive of { reason : string; lb : int; ub : int }
+      (** the budget exhausted before the check could be decided; the
+          solver certified [lb <= OPT <= ub], which straddles the claimed
+          bound.  Never produced under {!Exec.Budget.unlimited}. *)
+
 type item = {
   name : string;
-  ok : bool;
+  status : status;
   detail : string;  (** human-readable evidence, e.g. measured vs bound *)
 }
+
+val passed : item -> bool
+val failed : item -> bool
+val inconclusive : item -> bool
 
 val run :
   ?seed:int ->
   ?samples:int ->
   ?pool:Exec.Pool.t ->
   ?cache:Exec.Cache.t ->
+  ?budget:Exec.Budget.t ->
+  ?journal:Exec.Journal.t ->
   Params.t ->
   item list
 (** [run p] audits the linear family at [p] ([samples] controls the
     randomized checks; default 4).  Raises nothing: failures are reported
-    as [ok = false] items.
+    as [Fail] items.
 
     With [~pool] the exact-solve-heavy claim checks fan out across the
     pool; with [~cache] their results (and Property 3's) are read and
     written through the given {!Exec.Cache}.  Input generation always
     consumes the PRNG in the same order, so the returned items are
-    identical for every pool width and cache state. *)
+    identical for every pool width and cache state.
+
+    With a finite [~budget] each claim solve runs under it; a solve that
+    exhausts still decides its claim when the certified interval clears
+    the bound, and degrades to [Inconclusive] otherwise.  The budget
+    fingerprint is folded into the cache keys, so budgeted and exact
+    results never answer for each other.  With [~journal] every cached
+    check records completion for crash-safe resumption (see
+    {!Exec.Journal}). *)
 
 val all_ok : item list -> bool
+(** Every item passed ([Inconclusive] is not ok). *)
+
+val exit_code : item list -> int
+(** The CLI contract: [0] if all passed, [2] if any check {e failed}
+    (a claimed bound is violated), [3] if none failed but at least one is
+    [Inconclusive] (budget exhausted). *)
 
 val pp_item : Format.formatter -> item -> unit

@@ -147,7 +147,7 @@ let store t k payload =
   | None -> ()
   | Some dir -> (
       let seq = locked t (fun () -> t.tmp_seq <- t.tmp_seq + 1; t.tmp_seq) in
-      try
+      let attempt () =
         let shard = shard_dir dir k in
         mkdir_p shard;
         let tmp =
@@ -170,7 +170,14 @@ let store t k payload =
            close_out_noerr oc;
            (try Sys.remove tmp with Sys_error _ -> ());
            raise e);
-        Sys.rename tmp (entry_path dir k);
+        Sys.rename tmp (entry_path dir k)
+      in
+      (* A full disk or a racing cleaner can fail one attempt without
+         poisoning the sweep: retry transient failures briefly, then
+         drop the write — the cache is an accelerator, not a correctness
+         dependency. *)
+      try
+        Error.with_retries ~label:"cache.store" attempt;
         locked t (fun () ->
             t.stats.stores <- t.stats.stores + 1;
             t.stats.bytes_written <- t.stats.bytes_written + String.length payload)

@@ -108,3 +108,7 @@ val memo_value :
 val clear : t -> unit
 (** Delete every entry under the cache directory (and the directory
     itself).  A disabled cache is a no-op. *)
+
+val mkdir_p : string -> unit
+(** [mkdir] with parents, racing-writer tolerant.  Shared with
+    {!Journal} (and anything else persisting under [results/]). *)

@@ -1,0 +1,50 @@
+type kind =
+  | Cache_io of string
+  | Journal_io of string
+  | Worker_death of string
+  | Io of string
+
+exception Error of kind
+
+let to_string = function
+  | Cache_io m -> "cache I/O: " ^ m
+  | Journal_io m -> "journal I/O: " ^ m
+  | Worker_death m -> "worker domain: " ^ m
+  | Io m -> "I/O: " ^ m
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* Transient = plausibly succeeds on retry (interrupted syscall, racing
+   writer, momentarily missing resource).  Everything else — logic
+   errors, assertion failures, user interrupts — must escape
+   immediately. *)
+let transient = function
+  | Error (Cache_io _ | Journal_io _ | Io _ | Worker_death _) -> true
+  | Sys_error _ -> true
+  | End_of_file -> true
+  | _ -> false
+
+(* The exec library carries no unix dependency, so the default backoff
+   sleep is a clock spin.  It only ever runs on the rare retry path and
+   for a bounded total (attempts are capped), and callers with unix
+   linked can inject [Unix.sleepf]. *)
+let spin_sleep seconds =
+  if seconds > 0.0 then begin
+    let t0 = Sys.time () in
+    while Sys.time () -. t0 < seconds do
+      ignore (Sys.opaque_identity ())
+    done
+  end
+
+let with_retries ?(attempts = 3) ?(base_delay_s = 0.002) ?(sleep = spin_sleep)
+    ~label f =
+  if attempts < 1 then invalid_arg "Exec.Error.with_retries: attempts must be >= 1";
+  ignore (label : string) (* context for debuggers/backtraces only *);
+  let rec go i =
+    try f ()
+    with e when transient e && i < attempts ->
+      (* Exponential backoff: base, 2*base, 4*base, ... *)
+      sleep (base_delay_s *. float_of_int (1 lsl (i - 1)));
+      go (i + 1)
+  in
+  go 1

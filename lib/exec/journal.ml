@@ -1,0 +1,211 @@
+(* The journal is an append-only set of completed sweep cells, one line
+   per cell:
+
+     maxis-journal v1\n               (header, written at creation)
+     <digest hex> <escaped canonical key>\n
+     ...
+
+   Each line is self-validating: the digest is the MD5 of the unescaped
+   canonical key (exactly [Cache.digest_hex]), so a line torn by a crash
+   mid-append fails re-derivation and loading stops there — every line
+   before the tear is still trusted.  Appends are single [output_string]
+   calls on an append-mode channel followed by a flush, so concurrent
+   writers within one process (pool workers) serialize under the mutex
+   and a SIGKILL can lose at most the line being written, never corrupt
+   earlier ones.
+
+   The journal records *completion*, not values: values re-materialize
+   from [Exec.Cache], which is written before the journal line (store
+   then record), so a journaled cell always has its cache entry on disk
+   modulo cache eviction — and a missing entry merely recomputes. *)
+
+let schema_version = 1
+
+let magic = Printf.sprintf "maxis-journal v%d" schema_version
+
+let default_dir = Filename.concat "results" "journal"
+
+type t = {
+  path : string option;  (* None = disabled *)
+  mutable oc : out_channel option;
+  completed : (string, unit) Hashtbl.t;  (* digest hex -> () *)
+  mutable resumed : int;  (* entries loaded from disk at open *)
+  mutable appended : int;  (* entries written by this process *)
+  mutable skipped : int;  (* memo calls answered by a journaled cell *)
+  lock : Mutex.t;
+}
+
+let disabled () =
+  {
+    path = None;
+    oc = None;
+    completed = Hashtbl.create 1;
+    resumed = 0;
+    appended = 0;
+    skipped = 0;
+    lock = Mutex.create ();
+  }
+
+let enabled t = t.path <> None
+
+let path t = t.path
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Parse one journal line; [None] on any mismatch (torn tail, foreign
+   bytes, truncated digest). *)
+let parse_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i ->
+      let digest = String.sub line 0 i in
+      let escaped = String.sub line (i + 1) (String.length line - i - 1) in
+      if String.length digest <> 32 then None
+      else (
+        match
+          try Some (Scanf.unescaped escaped) with Scanf.Scan_failure _ | Failure _ -> None
+        with
+        | None -> None
+        | Some canonical ->
+            if Digest.to_hex (Digest.string canonical) = digest then Some digest
+            else None)
+
+let load_existing t p =
+  let ic =
+    try open_in_bin p
+    with Sys_error m -> raise (Error.Error (Error.Journal_io m))
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (match input_line ic with
+      | header when header = magic -> ()
+      | _ -> raise (Error.Error (Error.Journal_io (p ^ ": not a journal (bad header)")))
+      | exception End_of_file ->
+          raise (Error.Error (Error.Journal_io (p ^ ": empty journal file"))));
+      let stop = ref false in
+      while not !stop do
+        match input_line ic with
+        | exception End_of_file -> stop := true
+        | line -> (
+            match parse_line line with
+            | Some digest ->
+                if not (Hashtbl.mem t.completed digest) then begin
+                  Hashtbl.replace t.completed digest ();
+                  t.resumed <- t.resumed + 1
+                end
+            | None ->
+                (* A torn or foreign line: everything after it is
+                   untrusted.  The cells it would have recorded simply
+                   re-run. *)
+                stop := true)
+      done)
+
+let open_ ?(dir = default_dir) ?(resume = true) ~run_id () =
+  if run_id = "" then invalid_arg "Exec.Journal.open_: empty run_id";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ()
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Exec.Journal.open_: run_id %S: use [A-Za-z0-9._-]"
+               run_id))
+    run_id;
+  let p = Filename.concat dir (run_id ^ ".journal") in
+  let t = { (disabled ()) with path = Some p } in
+  Error.with_retries ~label:"journal.open" (fun () ->
+      try
+        Cache.mkdir_p dir;
+        let existing = Sys.file_exists p in
+        if resume && existing then load_existing t p;
+        let oc =
+          open_out_gen
+            [ Open_wronly; Open_creat; Open_binary;
+              (if resume && existing then Open_append else Open_trunc) ]
+            0o644 p
+        in
+        if not (resume && existing) then begin
+          output_string oc (magic ^ "\n");
+          flush oc
+        end;
+        t.oc <- Some oc;
+        t
+      with Sys_error m -> raise (Error.Error (Error.Journal_io m)))
+
+let completed t key = Hashtbl.mem t.completed (Cache.digest_hex key)
+
+let completed_count t = locked t (fun () -> Hashtbl.length t.completed)
+
+let resumed_count t = t.resumed
+
+let appended_count t = t.appended
+
+let skipped_count t = t.skipped
+
+let record t key =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      let digest = Cache.digest_hex key in
+      locked t (fun () ->
+          if not (Hashtbl.mem t.completed digest) then begin
+            let line =
+              Printf.sprintf "%s %s\n" digest (String.escaped (Cache.canonical key))
+            in
+            Error.with_retries ~label:"journal.append" (fun () ->
+                output_string oc line;
+                flush oc);
+            Hashtbl.replace t.completed digest ();
+            t.appended <- t.appended + 1
+          end)
+
+let memo t cache key compute =
+  let was_completed = completed t key in
+  let payload = Cache.memo cache key compute in
+  if was_completed then locked t (fun () -> t.skipped <- t.skipped + 1);
+  record t key;
+  payload
+
+let memo_value t cache key ~encode ~decode compute =
+  let was_completed = completed t key in
+  let v = Cache.memo_value cache key ~encode ~decode compute in
+  if was_completed then locked t (fun () -> t.skipped <- t.skipped + 1);
+  record t key;
+  v
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      t.oc <- None;
+      (try flush oc with Sys_error _ -> ());
+      close_out_noerr oc
+
+(* pp_stats is called from signal handlers: no locks here, a slightly
+   stale counter beats a deadlock. *)
+let pp_stats ppf t =
+  match t.path with
+  | None -> Format.pp_print_string ppf "journal disabled"
+  | Some p ->
+      Format.fprintf ppf "path=%s resumed=%d appended=%d skipped=%d" p t.resumed
+        t.appended t.skipped
+
+(* ------------------------------------------------------------------ *)
+(* Termination signals *)
+
+let signal_exit_code s = if s = Sys.sigterm then 143 else 130
+
+let on_termination f =
+  List.iter
+    (fun s ->
+      try
+        Sys.set_signal s
+          (Sys.Signal_handle
+             (fun s ->
+               (try f s with _ -> ());
+               exit (signal_exit_code s)))
+      with Invalid_argument _ | Sys_error _ -> () (* unsupported platform *))
+    [ Sys.sigint; Sys.sigterm ]

@@ -90,8 +90,23 @@ let create ~jobs =
       }
     in
     let t = { jobs; shared = Some sh; domains = [||]; alive = true } in
-    t.domains <-
-      Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop sh 0));
+    (* Spawning can fail transiently (thread limits, memory pressure).
+       Retry each worker briefly; a worker that still cannot spawn
+       degrades the pool's width instead of killing the run — [map]
+       counts the workers that actually exist, and the calling domain
+       always participates, so a fully degraded pool is a plain loop. *)
+    let spawned = ref [] in
+    for _ = 1 to jobs - 1 do
+      match
+        Error.with_retries ~label:"pool.spawn" (fun () ->
+            try Domain.spawn (fun () -> worker_loop sh 0)
+            with e ->
+              raise (Error.Error (Error.Worker_death (Printexc.to_string e))))
+      with
+      | d -> spawned := d :: !spawned
+      | exception Error.Error (Error.Worker_death _) -> ()
+    done;
+    t.domains <- Array.of_list !spawned;
     (* Domains left blocked at process exit would make [exit] hang; make
        every pool self-collecting. *)
     at_exit (fun () -> shutdown t);
@@ -122,7 +137,7 @@ let map t f xs =
         Atomic.set sh.next 0;
         sh.job <- Some job;
         sh.gen <- sh.gen + 1;
-        sh.busy_workers <- t.jobs - 1;
+        sh.busy_workers <- Array.length t.domains;
         Condition.broadcast sh.ready;
         Mutex.unlock sh.m;
         (* The calling domain is worker number [jobs]. *)

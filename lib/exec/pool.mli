@@ -26,7 +26,11 @@ type t
 val create : jobs:int -> t
 (** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1], else
     [Invalid_argument]).  The pool is registered for shutdown at process
-    exit, so forgetting {!shutdown} never leaves blocked domains behind. *)
+    exit, so forgetting {!shutdown} never leaves blocked domains behind.
+    A worker that cannot be spawned (after {!Error.with_retries}-bounded
+    retries) degrades the pool's effective width rather than raising:
+    {!map} still completes, executed by the workers that do exist plus
+    the calling domain, with the same deterministic results. *)
 
 val jobs : t -> int
 (** The parallel width the pool was created with. *)

@@ -37,6 +37,29 @@ let caro_wei_lower g =
     g;
   !acc
 
+(* Local-ratio dual payments: processing edge (u,v) with both residual
+   weights positive and paying m = min of the two reduces the optimal
+   vertex-cover weight by at least m, so the payment total is a lower
+   bound on MVC.  By the weighted Gallai identity OPT(MaxIS) =
+   w(V) - MVC, which turns the payment total into an upper bound on
+   OPT.  (Implemented from scratch rather than via [Vertex_cover] —
+   whose exact solver depends on [Exact] — so [Exact] can call this for
+   its budget-exhaustion certificates without a dependency cycle.) *)
+let vc_dual_upper g =
+  let n = Graph.n g in
+  let residual = Array.init n (fun v -> Graph.weight g v) in
+  let payments = ref 0 in
+  Graph.iter_edges
+    (fun u v ->
+      let m = min residual.(u) residual.(v) in
+      if m > 0 then begin
+        residual.(u) <- residual.(u) - m;
+        residual.(v) <- residual.(v) - m;
+        payments := !payments + m
+      end)
+    g;
+  Graph.total_weight g - !payments
+
 let greedy_lower g =
   List.fold_left
     (fun acc h -> max acc (fst (Greedy.run h g)))

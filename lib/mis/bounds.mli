@@ -8,6 +8,12 @@ val clique_cover_upper : Wgraph.Graph.t -> int
 (** Greedy clique partition; the sum of per-clique maximum weights is an
     upper bound on OPT. *)
 
+val vc_dual_upper : Wgraph.Graph.t -> int
+(** [w(V)] minus a local-ratio lower bound on the minimum-weight vertex
+    cover — an upper bound on OPT by the weighted Gallai identity.
+    Incomparable with {!clique_cover_upper} in general; the budgeted
+    exact solver certifies with the minimum of the two. *)
+
 val caro_wei_lower : Wgraph.Graph.t -> float
 (** [Σ_v w(v)/(deg(v)+1)] — always at most OPT (probabilistic argument;
     the bound is fractional). *)

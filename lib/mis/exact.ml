@@ -53,26 +53,55 @@ let clique_cover_bound g order cands =
     order;
   !bound
 
-let solve_on g cands0 =
-  let n = Graph.n g in
-  if n > max_nodes then
-    invalid_arg
-      (Printf.sprintf "Mis.Exact.solve: %d nodes exceeds max_nodes=%d" n
-         max_nodes);
+type exhausted = {
+  lb : int;
+  ub : int;
+  witness : Bitset.t;
+  nodes_explored : int;
+  reason : Exec.Budget.reason;
+}
+
+type outcome = Complete of solution | Exhausted of exhausted
+
+let interval = function
+  | Complete s -> (s.weight, s.weight)
+  | Exhausted e -> (e.lb, e.ub)
+
+exception Out_of_budget of Exec.Budget.reason
+
+let branch_order g =
   (* Static order: decreasing weight, ties by decreasing degree — good both
      for the clique cover and for branching. *)
-  let order = Array.init n Fun.id in
+  let order = Array.init (Graph.n g) Fun.id in
   Array.sort
     (fun a b ->
       let c = compare (Graph.weight g b) (Graph.weight g a) in
       if c <> 0 then c else compare (Graph.degree g b) (Graph.degree g a))
     order;
+  order
+
+(* The budgeted core.  Under [Budget.unlimited] the check is a single
+   physical-equality test and can never trip, so the exploration —
+   including [nodes_explored] and the returned witness — is
+   instruction-for-instruction the historical unbudgeted solver.  On
+   exhaustion the incumbent certifies the lower end of the interval and
+   a fresh root clique-cover bound certifies the upper end. *)
+let solve_on ~budget g cands0 =
+  let n = Graph.n g in
+  if n > max_nodes then
+    invalid_arg
+      (Printf.sprintf "Mis.Exact.solve: %d nodes exceeds max_nodes=%d" n
+         max_nodes);
+  let order = branch_order g in
   let best_weight = ref 0 in
   let best_set = ref (Bitset.create n) in
   let current = Bitset.create n in
   let explored = ref 0 in
   let rec branch cands cur_weight =
     incr explored;
+    (match Exec.Budget.check budget ~nodes:!explored with
+    | Some reason -> raise (Out_of_budget reason)
+    | None -> ());
     if Bitset.is_empty cands then begin
       if cur_weight > !best_weight then begin
         best_weight := cur_weight;
@@ -99,12 +128,43 @@ let solve_on g cands0 =
       branch without_v cur_weight
     end
   in
-  branch (Bitset.copy cands0) 0;
-  { weight = !best_weight; set = !best_set; nodes_explored = !explored }
+  match branch (Bitset.copy cands0) 0 with
+  | () -> Complete { weight = !best_weight; set = !best_set; nodes_explored = !explored }
+  | exception Out_of_budget reason ->
+      let ub = max !best_weight (clique_cover_bound g order cands0) in
+      Exhausted
+        {
+          lb = !best_weight;
+          ub;
+          witness = !best_set;
+          nodes_explored = !explored;
+          reason;
+        }
 
-let solve g = solve_on g (Bitset.full (Graph.n g))
+let complete_exn = function
+  | Complete s -> s
+  | Exhausted _ ->
+      (* Unreachable: an unlimited budget can never trip. *)
+      assert false
 
-let solve_induced g cands = solve_on g cands
+(* On full-graph solves a second, independent relaxation (vertex-cover
+   duality) can undercut the clique cover; certify with the tighter of
+   the two.  [max lb] keeps the interval well-formed by construction. *)
+let refine_full_graph_ub g = function
+  | Complete _ as c -> c
+  | Exhausted e -> Exhausted { e with ub = max e.lb (min e.ub (Bounds.vc_dual_upper g)) }
+
+let solve_budgeted ?(budget = Exec.Budget.unlimited) g =
+  refine_full_graph_ub g (solve_on ~budget g (Bitset.full (Graph.n g)))
+
+let solve_induced_budgeted ?(budget = Exec.Budget.unlimited) g cands =
+  solve_on ~budget g cands
+
+let solve g =
+  complete_exn (solve_on ~budget:Exec.Budget.unlimited g (Bitset.full (Graph.n g)))
+
+let solve_induced g cands =
+  complete_exn (solve_on ~budget:Exec.Budget.unlimited g cands)
 
 let opt g = (solve g).weight
 
@@ -172,43 +232,97 @@ let split_subproblems g order target =
     [ { cands = Bitset.full n; chosen = []; base_weight = 0 } ]
     1
 
-let solve_par ~pool g =
-  if Exec.Pool.jobs pool <= 1 then solve g
+let solve_par_budgeted ~pool ?(budget = Exec.Budget.unlimited) g =
+  if Exec.Pool.jobs pool <= 1 then solve_budgeted ~budget g
   else begin
     let n = Graph.n g in
     if n > max_nodes then
       invalid_arg
         (Printf.sprintf "Mis.Exact.solve_par: %d nodes exceeds max_nodes=%d" n
            max_nodes);
-    let order = Array.init n Fun.id in
-    Array.sort
-      (fun a b ->
-        let c = compare (Graph.weight g b) (Graph.weight g a) in
-        if c <> 0 then c else compare (Graph.degree g b) (Graph.degree g a))
-      order;
+    let order = branch_order g in
     (* Oversplit relative to the pool width so an unlucky hard subproblem
        does not serialize the batch. *)
     let target = 4 * Exec.Pool.jobs pool in
     let subs = Array.of_list (split_subproblems g order target) in
+    (* Each subproblem gets a deterministic share of the node cap (its
+       own independent tally — no scheduling leak) and shares the
+       deadline/cancellation token, so one deadline trip stops the
+       siblings at their next checkpoint. *)
+    let sub_budget = Exec.Budget.split budget ~pieces:(Array.length subs) in
     let solved =
-      Exec.Pool.map pool
-        (fun sub ->
-          let s = solve_on g sub.cands in
-          (sub.base_weight + s.weight, s))
-        subs
+      Exec.Pool.map pool (fun sub -> solve_on ~budget:sub_budget g sub.cands) subs
     in
-    (* Lowest-index subproblem achieving the maximum wins: deterministic
-       for every pool width.  Weights are >= 0 and [subs] is non-empty,
-       so a winner always exists. *)
-    let best_idx = ref 0 in
+    let witness_of i set =
+      let w = Bitset.copy set in
+      List.iter (Bitset.add w) subs.(i).chosen;
+      w
+    in
     let explored = ref 0 in
-    Array.iteri
-      (fun i (w, s) ->
-        explored := !explored + s.nodes_explored;
-        if w > fst solved.(!best_idx) then best_idx := i)
+    Array.iter
+      (fun o ->
+        explored :=
+          !explored
+          + (match o with Complete s -> s.nodes_explored | Exhausted e -> e.nodes_explored))
       solved;
-    let w, s = solved.(!best_idx) in
-    let witness = Bitset.copy s.set in
-    List.iter (Bitset.add witness) subs.(!best_idx).chosen;
-    { weight = w; set = witness; nodes_explored = !explored }
+    if Array.for_all (function Complete _ -> true | Exhausted _ -> false) solved
+    then begin
+      (* Lowest-index subproblem achieving the maximum wins: deterministic
+         for every pool width.  Weights are >= 0 and [subs] is non-empty,
+         so a winner always exists. *)
+      let weight_at i = subs.(i).base_weight + (complete_exn solved.(i)).weight in
+      let best_idx = ref 0 in
+      Array.iteri
+        (fun i _ -> if weight_at i > weight_at !best_idx then best_idx := i)
+        solved;
+      Complete
+        {
+          weight = weight_at !best_idx;
+          set = witness_of !best_idx (complete_exn solved.(!best_idx)).set;
+          nodes_explored = !explored;
+        }
+    end
+    else begin
+      (* The subproblems partition the search space, so OPT is the max of
+         the per-subproblem optima: lb = max of certified lower ends
+         (witness from the lowest-index achiever), ub = max of certified
+         upper ends.  With a pure node budget every per-subproblem
+         outcome is deterministic, hence so is the interval. *)
+      let lb_at i =
+        subs.(i).base_weight
+        + (match solved.(i) with Complete s -> s.weight | Exhausted e -> e.lb)
+      in
+      let ub_at i =
+        subs.(i).base_weight
+        + (match solved.(i) with Complete s -> s.weight | Exhausted e -> e.ub)
+      in
+      let best_idx = ref 0 in
+      let ub = ref 0 in
+      Array.iteri
+        (fun i _ ->
+          if lb_at i > lb_at !best_idx then best_idx := i;
+          if ub_at i > !ub then ub := ub_at i)
+        solved;
+      let reason =
+        let rec first i =
+          match solved.(i) with Exhausted e -> e.reason | Complete _ -> first (i + 1)
+        in
+        first 0
+      in
+      let set =
+        match solved.(!best_idx) with Complete s -> s.set | Exhausted e -> e.witness
+      in
+      refine_full_graph_ub g
+        (Exhausted
+           {
+             lb = lb_at !best_idx;
+             ub = max (lb_at !best_idx) !ub;
+             witness = witness_of !best_idx set;
+             nodes_explored = !explored;
+             reason;
+           })
+    end
   end
+
+let solve_par ~pool g =
+  complete_exn (solve_par_budgeted ~pool ~budget:Exec.Budget.unlimited g)

@@ -20,6 +20,50 @@ type solution = {
 val solve : Wgraph.Graph.t -> solution
 (** Raises nothing; on the empty graph returns weight 0. *)
 
+(** {1 Budgeted solving}
+
+    The branch-and-bound tree of a pathological instance can blow up
+    without warning; a sweep must degrade, not die.  The budgeted entry
+    points thread an {!Exec.Budget} cooperatively through the search
+    (the node cap is compared at every explored node; the clock and the
+    cancellation token every [every] nodes) and, on exhaustion, return a
+    {e certified interval} instead of raising: the incumbent — a valid
+    independent set — certifies [lb], and root relaxations (the greedy
+    clique cover, plus vertex-cover duality on full-graph solves)
+    certify [ub], so [lb <= OPT <= ub] always holds.
+
+    With [Exec.Budget.unlimited] (the default) the budgeted functions
+    are bit-identical to their unbudgeted counterparts: same weight,
+    same witness, same node count, at every pool width. *)
+
+type exhausted = {
+  lb : int;  (** weight of the best incumbent found — a valid IS *)
+  ub : int;  (** certified relaxation bound, [>= lb] *)
+  witness : Stdx.Bitset.t;  (** the incumbent achieving [lb] *)
+  nodes_explored : int;
+  reason : Exec.Budget.reason;
+}
+
+type outcome = Complete of solution | Exhausted of exhausted
+
+val interval : outcome -> int * int
+(** [(lb, ub)]; collapses to [(weight, weight)] on [Complete]. *)
+
+val solve_budgeted : ?budget:Exec.Budget.t -> Wgraph.Graph.t -> outcome
+
+val solve_induced_budgeted :
+  ?budget:Exec.Budget.t -> Wgraph.Graph.t -> Stdx.Bitset.t -> outcome
+
+val solve_par_budgeted :
+  pool:Exec.Pool.t -> ?budget:Exec.Budget.t -> Wgraph.Graph.t -> outcome
+(** Parallel fan-out with per-subproblem budget shares
+    ({!Exec.Budget.split}): node caps are tallied independently per
+    subproblem, so a pure node budget yields a deterministic interval
+    for every fixed pool width; a deadline trip in any subproblem
+    cancels the shared token and stops the siblings at their next
+    checkpoint (promptly, but — like any wall-clock effect — not
+    deterministically). *)
+
 val solve_induced : Wgraph.Graph.t -> Stdx.Bitset.t -> solution
 (** Maximum-weight independent set of the subgraph induced by the given
     node set, expressed in the original graph's node numbering.  This is

@@ -78,13 +78,26 @@ let to_csv t =
   List.iter emit (List.rev t.rows);
   Buffer.contents buf
 
+(* Atomic publish: a crash, kill or reader racing the writer must never
+   observe a half-written CSV, so write to a unique temp file in the same
+   directory (rename is only atomic within a filesystem) and rename over
+   the target. *)
 let write_csv t path =
   let dir = Filename.dirname path in
   if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_csv t))
+  let tmp =
+    Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp"
+  in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_csv t))
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let print ?title ?csv t =
   (match title with

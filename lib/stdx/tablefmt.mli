@@ -26,7 +26,9 @@ val to_csv : t -> string
 
 val write_csv : t -> string -> unit
 (** [write_csv tbl path] writes {!to_csv} to a file, creating the parent
-    directory if needed (one level). *)
+    directory if needed (one level).  The write is atomic — temp file in
+    the target directory, then rename — so a crashed or killed run never
+    leaves a truncated CSV behind. *)
 
 val print : ?title:string -> ?csv:string -> t -> unit
 (** [print ~title tbl] writes the table to stdout, preceded by

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Crash-safety check for the sweep journal (docs/RESILIENCE.md): run the
+# T1-gap sweep, SIGKILL it as soon as the journal has recorded at least
+# one completed cell, resume with MAXIS_RESUME=1, and require
+#
+#   * every final CSV (and stdout) byte-identical to an uninterrupted
+#     reference run,
+#   * the resumed run re-solved nothing that was journaled
+#     (skipped == resumed > 0, and strictly fewer exact solves than the
+#     reference).
+#
+# SIGKILL on purpose: no handler can run, so this exercises the
+# per-cell durability of the atomic journal appends, not the SIGINT
+# flush path.
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+dune build bench/main.exe
+EXE="$ROOT/_build/default/bench/main.exe"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+echo "workdir: $WORK"
+
+# Extract "name=<int>" from a stderr counters line.
+counter() { grep -o "$2=[0-9]*" "$1" | head -n1 | cut -d= -f2; }
+
+# --- Reference: one uninterrupted run, isolated cache -----------------
+mkdir -p "$WORK/ref"
+(cd "$WORK/ref" && MAXIS_CACHE_DIR="$WORK/ref-cache" \
+  "$EXE" T1-gap >out.txt 2>err.txt)
+ref_solves=$(counter "$WORK/ref/err.txt" solves)
+echo "reference: solves=$ref_solves"
+test "$ref_solves" -gt 0
+
+# --- Interrupted run: SIGKILL once a cell is journaled ----------------
+mkdir -p "$WORK/run"
+cd "$WORK/run"
+journal=results/journal/ci.journal
+MAXIS_CACHE_DIR="$WORK/run-cache" MAXIS_RUN_ID=ci \
+  "$EXE" T1-gap >kill.out 2>kill.err &
+pid=$!
+# Wait for the header plus at least one cell line, then kill -9.
+for _ in $(seq 1 600); do
+  if [ -f "$journal" ] && [ "$(wc -l <"$journal")" -ge 2 ]; then break; fi
+  if ! kill -0 "$pid" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+if kill -9 "$pid" 2>/dev/null; then
+  echo "killed pid $pid with $(($(wc -l <"$journal") - 1)) cells journaled"
+else
+  echo "warning: run finished before it could be killed"
+fi
+wait "$pid" 2>/dev/null || true
+test -f "$journal"
+test "$(wc -l <"$journal")" -ge 2
+
+# --- Resume and compare ----------------------------------------------
+MAXIS_CACHE_DIR="$WORK/run-cache" MAXIS_RUN_ID=ci MAXIS_RESUME=1 \
+  "$EXE" T1-gap >out.txt 2>err.txt
+
+resumed=$(counter err.txt resumed)
+skipped=$(counter err.txt skipped)
+res_solves=$(counter err.txt solves)
+echo "resume: resumed=$resumed skipped=$skipped solves=$res_solves"
+
+test "$resumed" -gt 0                 # the journal actually carried cells over
+test "$skipped" -eq "$resumed"        # every journaled cell skipped, none re-solved
+test "$res_solves" -lt "$ref_solves"  # strictly less work than from scratch
+
+diff "$WORK/ref/out.txt" out.txt      # stdout byte-identical
+for csv in "$WORK"/ref/results/*.csv; do
+  diff "$csv" "results/$(basename "$csv")"
+done
+echo "kill/resume: OK ($(ls "$WORK"/ref/results/*.csv | wc -l) CSVs byte-identical)"

@@ -1,0 +1,94 @@
+(* End-to-end tests of the maxis_lb CLI's documented exit-code contract:
+     0   every check passed
+     2   a claimed bound was checked and is violated
+     3   no failures, but the budget exhausted before some check decided
+     4   an I/O failure (cache, journal, CSV) escaped retries
+     124 usage error (cmdliner's convention)
+   plus unit tests of the [Verification.exit_code] precedence those codes
+   come from.
+
+   The exe is a declared dune dep, reached relative to the test cwd
+   (_build/default/test). *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "maxis_lb.exe")
+
+let run args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote exe) args)
+
+let check_int = Alcotest.(check int)
+
+(* Small parameters so each invocation solves in well under a second. *)
+let base = "verify --players 2 --ell 3 --samples 1 --no-cache"
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+  else if Sys.file_exists dir then Sys.remove dir
+
+let test_exit_ok () = check_int "all checks pass" 0 (run base)
+
+let test_exit_inconclusive () =
+  (* One branch-and-bound node cannot decide the claim checks, but a
+     certified interval can never show a *violation* either — so the only
+     possible outcomes are Pass and Inconclusive, deterministically. *)
+  check_int "budget exhausted" 3 (run (base ^ " --budget-nodes 1"))
+
+let test_exit_usage () =
+  check_int "bad --jobs" 124 (run (base ^ " --jobs 0"));
+  check_int "--resume without --run-id" 124 (run (base ^ " --resume"))
+
+let test_exit_io_error () =
+  (* Block journal creation: a regular file where the journal directory
+     must go makes [Journal.open_] raise [Error (Journal_io _)], which the
+     CLI's I/O guard maps to exit 4. *)
+  rm_rf (Filename.concat "results" "journal");
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  let blocker = Filename.concat "results" "journal" in
+  let oc = open_out blocker in
+  close_out oc;
+  let code = run (base ^ " --run-id cli-io") in
+  Sys.remove blocker;
+  check_int "journal open fails" 4 code
+
+let test_exit_journal_round_trip () =
+  rm_rf (Filename.concat "results" "journal");
+  check_int "journaled run" 0 (run (base ^ " --run-id cli-e2e"));
+  check_int "resumed run" 0 (run (base ^ " --run-id cli-e2e --resume"));
+  rm_rf (Filename.concat "results" "journal")
+
+(* ------------------------------------------------------------------ *)
+(* Verification.exit_code precedence *)
+
+module V = Maxis_core.Verification
+
+let item status = { V.name = "x"; status; detail = "" }
+
+let inconclusive =
+  item (V.Inconclusive { reason = "nodes"; lb = 1; ub = 9 })
+
+let test_exit_code_unit () =
+  check_int "empty" 0 (V.exit_code []);
+  check_int "all pass" 0 (V.exit_code [ item V.Pass; item V.Pass ]);
+  check_int "inconclusive" 3 (V.exit_code [ item V.Pass; inconclusive ]);
+  check_int "fail" 2 (V.exit_code [ item V.Pass; item V.Fail ]);
+  check_int "fail beats inconclusive" 2
+    (V.exit_code [ inconclusive; item V.Fail; item V.Pass ])
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "0 on success" `Quick test_exit_ok;
+          Alcotest.test_case "3 on exhausted budget" `Quick
+            test_exit_inconclusive;
+          Alcotest.test_case "124 on usage errors" `Quick test_exit_usage;
+          Alcotest.test_case "4 on I/O errors" `Quick test_exit_io_error;
+          Alcotest.test_case "journal round trip" `Quick
+            test_exit_journal_round_trip;
+        ] );
+      ( "exit-code-unit",
+        [ Alcotest.test_case "precedence" `Quick test_exit_code_unit ] );
+    ]

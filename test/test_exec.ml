@@ -363,6 +363,330 @@ let test_solve_par_empty_and_tiny () =
       check_int "triangle" 1 (Mis.Exact.solve_par ~pool g).Mis.Exact.weight)
 
 (* ------------------------------------------------------------------ *)
+(* Budgets: bit-identity under no/unlimited budget, certified intervals
+   on exhaustion, determinism, deadline/cancellation plumbing *)
+
+module Budget = Exec.Budget
+
+let test_budget_unlimited_bit_identity () =
+  (* The acceptance bar: with budget = infinity — either the [unlimited]
+     sentinel or a finite budget object with huge caps — the budgeted
+     solver must reproduce today's solver bit for bit (weight, witness,
+     node count) on every gadget instance, at every pool width. *)
+  let graphs = gadget_instances () in
+  check "24 gadget instances" true (List.length graphs >= 24);
+  let huge = Budget.create ~max_nodes:(max_int / 2) () in
+  List.iteri
+    (fun i g ->
+      let seq = Mis.Exact.solve g in
+      let same label = function
+        | Mis.Exact.Exhausted _ ->
+            Alcotest.failf "instance %d: %s exhausted under no budget" i label
+        | Mis.Exact.Complete s ->
+            check_int (Printf.sprintf "%s weight %d" label i) seq.Mis.Exact.weight
+              s.Mis.Exact.weight;
+            check
+              (Printf.sprintf "%s witness %d" label i)
+              true
+              (Bitset.equal seq.Mis.Exact.set s.Mis.Exact.set);
+            check_int
+              (Printf.sprintf "%s nodes %d" label i)
+              seq.Mis.Exact.nodes_explored s.Mis.Exact.nodes_explored
+      in
+      same "default" (Mis.Exact.solve_budgeted g);
+      same "huge-finite" (Mis.Exact.solve_budgeted ~budget:huge g))
+    graphs;
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iteri
+            (fun i g ->
+              let plain = Mis.Exact.solve_par ~pool g in
+              match Mis.Exact.solve_par_budgeted ~pool ~budget:huge g with
+              | Mis.Exact.Exhausted _ ->
+                  Alcotest.failf "instance %d: par exhausted under huge budget" i
+              | Mis.Exact.Complete s ->
+                  check_int
+                    (Printf.sprintf "par weight %d @%d" i jobs)
+                    plain.Mis.Exact.weight s.Mis.Exact.weight;
+                  check
+                    (Printf.sprintf "par witness %d @%d" i jobs)
+                    true
+                    (Bitset.equal plain.Mis.Exact.set s.Mis.Exact.set);
+                  check_int
+                    (Printf.sprintf "par nodes %d @%d" i jobs)
+                    plain.Mis.Exact.nodes_explored s.Mis.Exact.nodes_explored)
+            graphs))
+    widths
+
+let test_budget_exhaustion_certified_interval () =
+  (* A starved solve must degrade to a certified interval on every gadget
+     instance: lb from a valid incumbent independent set, ub from a root
+     relaxation, with the true OPT inside. *)
+  let graphs = gadget_instances () in
+  check "24 gadget instances" true (List.length graphs >= 24);
+  let tiny = Budget.create ~max_nodes:8 () in
+  List.iteri
+    (fun i g ->
+      let opt = Mis.Exact.opt g in
+      match Mis.Exact.solve_budgeted ~budget:tiny g with
+      | Mis.Exact.Complete _ ->
+          Alcotest.failf "instance %d solved within 8 nodes?" i
+      | Mis.Exact.Exhausted e ->
+          check (Printf.sprintf "reason %d" i) true (e.Mis.Exact.reason = Budget.Nodes);
+          check
+            (Printf.sprintf "lb <= OPT <= ub on %d" i)
+            true
+            (e.Mis.Exact.lb <= opt && opt <= e.Mis.Exact.ub);
+          check
+            (Printf.sprintf "witness certifies lb on %d" i)
+            true
+            (Mis.Verify.solution_ok g ~claimed_weight:e.Mis.Exact.lb
+               e.Mis.Exact.witness);
+          check
+            (Printf.sprintf "spend within cap on %d" i)
+            true
+            (e.Mis.Exact.nodes_explored <= 9))
+    graphs
+
+let test_budget_par_interval_deterministic () =
+  (* Pure node budgets stay deterministic under parallel fan-out: per
+     subproblem tallies, no scheduling leak.  Same width => same interval,
+     witness and node count; and the interval still brackets OPT. *)
+  let rng = Prng.create 0xb00 in
+  let g = Build.erdos_renyi rng 34 0.25 in
+  Build.random_weights rng g 5;
+  let opt = Mis.Exact.opt g in
+  let budget = Budget.create ~max_nodes:120 () in
+  let once () =
+    Pool.with_pool ~jobs:3 (fun pool ->
+        Mis.Exact.solve_par_budgeted ~pool ~budget g)
+  in
+  match (once (), once ()) with
+  | Mis.Exact.Exhausted a, Mis.Exact.Exhausted b ->
+      check_int "lb stable" a.Mis.Exact.lb b.Mis.Exact.lb;
+      check_int "ub stable" a.Mis.Exact.ub b.Mis.Exact.ub;
+      check_int "nodes stable" a.Mis.Exact.nodes_explored b.Mis.Exact.nodes_explored;
+      check "witness stable" true
+        (Bitset.equal a.Mis.Exact.witness b.Mis.Exact.witness);
+      check "interval brackets OPT" true
+        (a.Mis.Exact.lb <= opt && opt <= a.Mis.Exact.ub);
+      check "witness valid" true
+        (Mis.Verify.solution_ok g ~claimed_weight:a.Mis.Exact.lb
+           a.Mis.Exact.witness)
+  | _ ->
+      (* 34 nodes at 0.25 density needs far more than 120 B&B nodes. *)
+      Alcotest.fail "expected exhaustion on both runs"
+
+let test_budget_deadline_and_cancel () =
+  (* Deadline via an injected fake clock; the trip cancels the shared
+     token so split siblings stop too. *)
+  let now = ref 0.0 in
+  let b = Budget.create ~deadline_s:5.0 ~clock:(fun () -> !now) ~every:1 () in
+  check "within deadline" true (Budget.check b ~nodes:1 = None);
+  now := 6.0;
+  check "deadline trips" true (Budget.check b ~nodes:2 = Some Budget.Deadline);
+  check "trip cancels token" true (Budget.cancelled b);
+  check "siblings see cancellation" true
+    (Budget.check b ~nodes:3 = Some Budget.Cancelled);
+  (* An explicitly cancelled budget stops a fresh solve promptly. *)
+  let c = Budget.create ~max_nodes:1_000_000 ~every:1 () in
+  Budget.cancel c;
+  let g = Build.complete 6 in
+  (match Mis.Exact.solve_budgeted ~budget:c g with
+  | Mis.Exact.Exhausted e ->
+      check "reason cancelled" true (e.Mis.Exact.reason = Budget.Cancelled);
+      check "interval well-formed" true (e.Mis.Exact.lb <= e.Mis.Exact.ub)
+  | Mis.Exact.Complete _ -> Alcotest.fail "cancelled budget completed")
+
+let test_budget_split_and_fingerprint () =
+  let b = Budget.create ~max_nodes:10 () in
+  Alcotest.(check (option int))
+    "ceiling share" (Some 4)
+    (Budget.node_limit (Budget.split b ~pieces:3));
+  check "split unlimited is unlimited" true
+    (Budget.is_unlimited (Budget.split Budget.unlimited ~pieces:7));
+  let sub = Budget.split b ~pieces:2 in
+  Budget.cancel sub;
+  check "token shared with parent" true (Budget.cancelled b);
+  check_string "unlimited fingerprint" "" (Budget.fingerprint Budget.unlimited);
+  check "finite fingerprints distinct" true
+    (Budget.fingerprint (Budget.create ~max_nodes:5 ())
+    <> Budget.fingerprint (Budget.create ~max_nodes:6 ()));
+  check "deadline marks fingerprint" true
+    (Budget.fingerprint (Budget.create ~max_nodes:5 ())
+    <> Budget.fingerprint (Budget.create ~max_nodes:5 ~deadline_s:1.0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Journal: crash-safe completion records *)
+
+module Journal = Exec.Journal
+
+let jdir = "exec_journal_test"
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let jkey i =
+  Cache.key ~family:"journal-test" ~params:"p" ~seed:i ~solver:"s" ()
+
+let test_journal_round_trip () =
+  rm_rf jdir;
+  let j = Journal.open_ ~dir:jdir ~run_id:"t1" () in
+  check "enabled" true (Journal.enabled j);
+  check "cold" true (not (Journal.completed j (jkey 0)));
+  Journal.record j (jkey 0);
+  Journal.record j (jkey 1);
+  Journal.record j (jkey 0) (* dedup *);
+  check "completed" true (Journal.completed j (jkey 0));
+  check_int "appended" 2 (Journal.appended_count j);
+  check_int "resumed" 0 (Journal.resumed_count j);
+  Journal.close j;
+  (* Resume: both cells load back. *)
+  let j2 = Journal.open_ ~dir:jdir ~run_id:"t1" () in
+  check_int "resumed cells" 2 (Journal.resumed_count j2);
+  check "cell 1 completed" true (Journal.completed j2 (jkey 1));
+  Journal.close j2;
+  (* resume:false restarts from scratch. *)
+  let j3 = Journal.open_ ~dir:jdir ~resume:false ~run_id:"t1" () in
+  check_int "truncated" 0 (Journal.resumed_count j3);
+  check "cell gone" true (not (Journal.completed j3 (jkey 0)));
+  Journal.close j3;
+  rm_rf jdir
+
+let test_journal_torn_tail_tolerated () =
+  rm_rf jdir;
+  let j = Journal.open_ ~dir:jdir ~run_id:"torn" () in
+  Journal.record j (jkey 0);
+  Journal.record j (jkey 1);
+  Journal.close j;
+  (* Simulate a crash mid-append: a half-written line with no digest. *)
+  let path = Filename.concat jdir "torn.journal" in
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  output_string oc "0123456789abcdef torn-mid-wri";
+  close_out oc;
+  let j2 = Journal.open_ ~dir:jdir ~run_id:"torn" () in
+  check_int "good prefix trusted" 2 (Journal.resumed_count j2);
+  check "cells intact" true
+    (Journal.completed j2 (jkey 0) && Journal.completed j2 (jkey 1));
+  (* The journal stays appendable after the tear. *)
+  Journal.record j2 (jkey 2);
+  check_int "appended after tear" 1 (Journal.appended_count j2);
+  Journal.close j2;
+  rm_rf jdir
+
+let test_journal_memo_skips_resolves () =
+  rm_rf jdir;
+  let cache = fresh_cache () in
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    "payload"
+  in
+  let j = Journal.open_ ~dir:jdir ~run_id:"memo" () in
+  check_string "computed" "payload" (Journal.memo j cache (jkey 9) compute);
+  check_string "cache answers" "payload" (Journal.memo j cache (jkey 9) compute);
+  check_int "one compute" 1 !calls;
+  check_int "skipped counts journaled hits" 1 (Journal.skipped_count j);
+  Journal.close j;
+  (* A resumed run re-materializes from the cache: zero re-solves. *)
+  let j2 = Journal.open_ ~dir:jdir ~run_id:"memo" () in
+  check_string "resumed" "payload" (Journal.memo j2 cache (jkey 9) compute);
+  check_int "still one compute" 1 !calls;
+  check_int "skipped on resume" 1 (Journal.skipped_count j2);
+  Journal.close j2;
+  (* Cache evicted meanwhile: the journaled cell merely recomputes. *)
+  Cache.clear cache;
+  let cache2 = fresh_cache () in
+  let j3 = Journal.open_ ~dir:jdir ~run_id:"memo" () in
+  check_string "recomputes" "payload" (Journal.memo j3 cache2 (jkey 9) compute);
+  check_int "second compute" 2 !calls;
+  Journal.close j3;
+  Cache.clear cache2;
+  rm_rf jdir
+
+let test_journal_rejections () =
+  rm_rf jdir;
+  (try
+     ignore (Journal.open_ ~dir:jdir ~run_id:"bad/id" ());
+     Alcotest.fail "slash in run_id accepted"
+   with Invalid_argument _ -> ());
+  (* A file that is not a journal must raise Journal_io, not be eaten. *)
+  Cache.mkdir_p jdir;
+  let path = Filename.concat jdir "fake.journal" in
+  let oc = open_out path in
+  output_string oc "not a journal at all\n";
+  close_out oc;
+  (try
+     ignore (Journal.open_ ~dir:jdir ~run_id:"fake" ());
+     Alcotest.fail "bad header accepted"
+   with Exec.Error.Error (Exec.Error.Journal_io _) -> ());
+  rm_rf jdir
+
+let test_journal_disabled () =
+  let j = Journal.disabled () in
+  check "disabled" true (not (Journal.enabled j));
+  Journal.record j (jkey 0);
+  check "records nothing" true (not (Journal.completed j (jkey 0)));
+  let calls = ref 0 in
+  let c = Cache.disabled () in
+  ignore (Journal.memo j c (jkey 0) (fun () -> incr calls; "x"));
+  ignore (Journal.memo j c (jkey 0) (fun () -> incr calls; "x"));
+  check_int "computes each time (no cache, no journal)" 2 !calls;
+  check_int "exit code SIGTERM" 143 (Journal.signal_exit_code Sys.sigterm);
+  check_int "exit code SIGINT" 130 (Journal.signal_exit_code Sys.sigint)
+
+(* ------------------------------------------------------------------ *)
+(* Error taxonomy + bounded retry *)
+
+let test_retry_transient_then_success () =
+  let sleeps = ref [] in
+  let tries = ref 0 in
+  let v =
+    Exec.Error.with_retries
+      ~sleep:(fun d -> sleeps := d :: !sleeps)
+      ~label:"test" (fun () ->
+        incr tries;
+        if !tries < 3 then raise (Sys_error "flaky") else 42)
+  in
+  check_int "value" 42 v;
+  check_int "three tries" 3 !tries;
+  (match List.rev !sleeps with
+  | [ a; b ] -> check "exponential backoff" true (b = 2.0 *. a)
+  | l -> Alcotest.failf "expected 2 sleeps, got %d" (List.length l))
+
+let test_retry_nontransient_escapes_immediately () =
+  let tries = ref 0 in
+  (try
+     ignore
+       (Exec.Error.with_retries ~sleep:ignore ~label:"test" (fun () ->
+            incr tries;
+            invalid_arg "logic error"));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  check_int "no retry on logic errors" 1 !tries
+
+let test_retry_exhaustion_reraises_last () =
+  let tries = ref 0 in
+  (try
+     ignore
+       (Exec.Error.with_retries ~attempts:4 ~sleep:ignore ~label:"test"
+          (fun () ->
+            incr tries;
+            raise (Exec.Error.Error (Exec.Error.Cache_io "disk on fire"))));
+     Alcotest.fail "expected Error"
+   with Exec.Error.Error (Exec.Error.Cache_io m) ->
+     check_string "original message" "disk on fire" m);
+  check_int "all attempts consumed" 4 !tries;
+  check "classification" true
+    (Exec.Error.transient (Exec.Error.Error (Exec.Error.Worker_death "x"))
+    && Exec.Error.transient End_of_file
+    && not (Exec.Error.transient Exit))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "exec"
@@ -412,5 +736,38 @@ let () =
             test_solve_par_width_one_is_solve;
           Alcotest.test_case "degenerate graphs" `Quick
             test_solve_par_empty_and_tiny;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "unlimited bit-identity" `Quick
+            test_budget_unlimited_bit_identity;
+          Alcotest.test_case "certified interval on exhaustion" `Quick
+            test_budget_exhaustion_certified_interval;
+          Alcotest.test_case "parallel interval deterministic" `Quick
+            test_budget_par_interval_deterministic;
+          Alcotest.test_case "deadline and cancel" `Quick
+            test_budget_deadline_and_cancel;
+          Alcotest.test_case "split and fingerprint" `Quick
+            test_budget_split_and_fingerprint;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "round trip and resume" `Quick
+            test_journal_round_trip;
+          Alcotest.test_case "torn tail tolerated" `Quick
+            test_journal_torn_tail_tolerated;
+          Alcotest.test_case "memo skips re-solves" `Quick
+            test_journal_memo_skips_resolves;
+          Alcotest.test_case "rejections" `Quick test_journal_rejections;
+          Alcotest.test_case "disabled journal" `Quick test_journal_disabled;
+        ] );
+      ( "retries",
+        [
+          Alcotest.test_case "transient then success" `Quick
+            test_retry_transient_then_success;
+          Alcotest.test_case "non-transient escapes" `Quick
+            test_retry_nontransient_escapes_immediately;
+          Alcotest.test_case "exhaustion reraises" `Quick
+            test_retry_exhaustion_reraises_last;
         ] );
     ]

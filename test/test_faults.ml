@@ -420,6 +420,56 @@ let test_harden_replay () =
   check "hardened replay digest" true
     (Trace.digest r1.Runtime.trace = Trace.digest r2.Runtime.trace)
 
+let test_harden_combined_dup_corrupt () =
+  (* Duplication and corruption composed on every link (plus delay):
+     checksums catch the flips, sequence numbers discard the copies, and
+     outputs stay exactly fault-free. *)
+  let plan =
+    Some
+      (Faults.plan
+         ~default:(Faults.link ~duplicate:0.2 ~corrupt:0.2 ~max_delay:2 ())
+         17)
+  in
+  check_harden_equiv (Congest.Algo_flood.max_id ~rounds:8) plan;
+  check_harden_equiv Congest.Algo_luby.mis plan
+
+let test_harden_combined_with_crash () =
+  (* duplicate + corrupt + a crash mid-retransmit.  harden masks message
+     faults, not crash faults: a dead peer stalls its neighbors'
+     stop-and-wait, so the run may only end at max_rounds and outputs
+     need not match the fault-free run.  What must still hold: the crash
+     is recorded, the message faults actually fired, the run terminates,
+     and the whole thing replays bit-identically. *)
+  let g = harden_graph () in
+  let plan =
+    Faults.plan
+      ~default:(Faults.link ~duplicate:0.2 ~corrupt:0.2 ())
+      ~crashes:[ (3, 2) ]
+      29
+  in
+  let run () =
+    Runtime.run
+      ~config:(harden_cfg (Some plan))
+      (Faults.harden Congest.Algo_luby.mis)
+      g
+  in
+  let r1 = run () in
+  check "crashed flag" true r1.Runtime.crashed.(3);
+  let kinds =
+    Array.map
+      (fun (f : Trace.fault) -> f.Trace.kind)
+      (Trace.fault_events r1.Runtime.trace)
+  in
+  let has k = Array.exists (fun k' -> k' = k) kinds in
+  check "duplication fired" true (has Trace.Duplicated);
+  check "corruption fired" true (has Trace.Corrupted);
+  check "crash recorded" true (has Trace.Crashed);
+  check "run terminates" true (r1.Runtime.rounds_executed <= 800);
+  let r2 = run () in
+  check "replay digest" true
+    (Trace.digest r1.Runtime.trace = Trace.digest r2.Runtime.trace);
+  check "replay outputs" true (r1.Runtime.outputs = r2.Runtime.outputs)
+
 (* ------------------------------------------------------------------ *)
 (* Simulation metering under faults + the fault-free referee guard *)
 
@@ -510,6 +560,10 @@ let () =
           Alcotest.test_case "corruption detected" `Quick test_harden_corruption_detected;
           Alcotest.test_case "costs more bits" `Quick test_harden_costs_more_bits;
           Alcotest.test_case "hardened replay" `Quick test_harden_replay;
+          Alcotest.test_case "combined dup+corrupt" `Quick
+            test_harden_combined_dup_corrupt;
+          Alcotest.test_case "combined with crash" `Quick
+            test_harden_combined_with_crash;
         ] );
       ( "simulation",
         [

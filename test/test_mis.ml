@@ -209,6 +209,24 @@ let test_bounds_on_known () =
   Alcotest.(check (float 1e-9)) "caro-wei C6" 2.0 (Mis.Bounds.caro_wei_lower g);
   check_int "greedy C6" 3 (Mis.Bounds.greedy_lower g)
 
+let test_vc_dual_upper_known () =
+  (* The vertex-cover dual bound is what certifies the ub of a budgeted
+     solve's interval, so its soundness is safety-critical. *)
+  let g = Build.cycle 6 in
+  check "vc dual sound on C6" true (Mis.Bounds.vc_dual_upper g >= Mis.Exact.opt g);
+  let k5 = Build.complete 5 in
+  check "vc dual sound on K5" true
+    (Mis.Bounds.vc_dual_upper k5 >= Mis.Exact.opt k5)
+
+let prop_vc_dual_upper_sound =
+  QCheck.Test.make ~name:"opt <= vc_dual_upper" ~count:80
+    QCheck.(pair small_int small_int) (fun (seed, nn) ->
+      let n = 2 + (nn mod 12) in
+      let rng = Prng.create seed in
+      let g = Build.erdos_renyi rng n 0.35 in
+      Build.random_weights rng g 5;
+      Mis.Exact.opt g <= Mis.Bounds.vc_dual_upper g)
+
 let prop_bound_sandwich =
   QCheck.Test.make ~name:"caro_wei <= greedy <= opt <= clique_cover" ~count:80
     QCheck.(pair small_int small_int) (fun (seed, nn) ->
@@ -309,8 +327,11 @@ let () =
           Alcotest.test_case "min-degree on star" `Quick test_min_degree_on_star;
         ] );
       ( "bounds",
-        [ Alcotest.test_case "known graphs" `Quick test_bounds_on_known ] );
-      qsuite "bounds-props" [ prop_bound_sandwich ];
+        [
+          Alcotest.test_case "known graphs" `Quick test_bounds_on_known;
+          Alcotest.test_case "vc dual upper" `Quick test_vc_dual_upper_known;
+        ] );
+      qsuite "bounds-props" [ prop_bound_sandwich; prop_vc_dual_upper_sound ];
       ( "verify",
         [
           Alcotest.test_case "reports" `Quick test_verify_reports;
