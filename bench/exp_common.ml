@@ -98,6 +98,27 @@ let () =
             Exec.Journal.pp_stats j
       end)
 
+(* Opt-in metrics export for any bench invocation: MAXIS_METRICS=<path>
+   (or =1 for the default results/metrics/bench.jsonl) writes the full
+   Obs.Metrics snapshot at exit.  Only a stderr note is added — stdout
+   and every results/*.csv table stay byte-identical with the export on
+   or off, like the cache/journal counter lines above. *)
+let () =
+  match Sys.getenv_opt "MAXIS_METRICS" with
+  | None | Some "" -> ()
+  | Some p ->
+      let path =
+        if p = "1" then
+          Filename.concat (Filename.concat "results" "metrics") "bench.jsonl"
+        else p
+      in
+      at_exit (fun () ->
+          try
+            Obs.Export.write_jsonl path (Obs.Metrics.snapshot ());
+            Format.eprintf "[obs] metrics: wrote %s@." path
+          with Sys_error m ->
+            Format.eprintf "[obs] metrics export failed: %s@." m)
+
 let linear_input rng p ~intersecting =
   Commcx.Inputs.gen_promise rng ~k:(P.k p) ~t:p.P.players ~intersecting
 

@@ -17,6 +17,7 @@ let experiments =
     ("ABL", "ablations: code distance, bandwidth, broadcast", Exp_ablations.run);
     ("FAULTS", "fault injection: hardened delivery vs adversarial links", Exp_faults.run);
     ("PERF", "Bechamel timing benches", Exp_perf.run);
+    ("OBS", "metrics + span profile of one pipeline cell", Exp_obs.run);
   ]
 
 (* Subsets of the umbrella ids, so `-- T2-gap` etc. also work. *)

@@ -109,6 +109,47 @@ let make_cache ~no_cache =
   if no_cache then Exec.Cache.disabled () else Exec.Cache.create ()
 
 (* ------------------------------------------------------------------ *)
+(* Observability (docs/OBSERVABILITY.md)
+
+   --metrics[=PATH] (or MAXIS_METRICS=PATH in the environment) exports
+   the end-of-run Obs.Metrics snapshot as JSON lines, plus the span
+   profile tree on stderr.  The export must never change results: all
+   --metrics output goes to the file and stderr, stdout stays
+   byte-identical — the parity test in test/test_cli.ml holds us to
+   that. *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "MAXIS_METRICS")
+        ~doc:
+          "Export end-of-run metrics as JSON lines to $(docv) (default \
+           results/metrics/<command>.jsonl when given without a value) \
+           and print the span profile tree on stderr.  Never changes \
+           stdout or results.")
+
+let metrics_default_path cmd =
+  Filename.concat (Filename.concat "results" "metrics") (cmd ^ ".jsonl")
+
+let with_metrics ~cmd metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      let path = if path = "" then metrics_default_path cmd else path in
+      Obs.Span.set_clock Unix.gettimeofday;
+      Obs.Span.set_enabled true;
+      let code = Obs.Span.with_span cmd f in
+      with_io_guard (fun () ->
+          Obs.Export.write_jsonl path (Obs.Metrics.snapshot ());
+          Format.eprintf "metrics: wrote %s@." path;
+          (match Obs.Span.roots () with
+          | [] -> ()
+          | roots -> Format.eprintf "profile:@.%a" Obs.Span.pp roots);
+          code)
+
+(* ------------------------------------------------------------------ *)
 (* Budgets and journals *)
 
 let budget_nodes_arg =
@@ -205,7 +246,8 @@ let gen_instance p ~quadratic ~seed ~intersecting =
 (* build *)
 
 let build_cmd =
-  let run alpha ell players seed intersecting quadratic solve =
+  let run alpha ell players seed intersecting quadratic solve metrics =
+    with_metrics ~cmd:"build" metrics @@ fun () ->
     let p = params alpha ell players in
     let inst, x = gen_instance p ~quadratic ~seed ~intersecting in
     let g = inst.Family.graph in
@@ -228,14 +270,15 @@ let build_cmd =
     (Cmd.info "build" ~doc:"Construct an instance and print its census.")
     Term.(
       const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg
-      $ intersecting_arg $ quadratic_arg $ solve_arg)
+      $ intersecting_arg $ quadratic_arg $ solve_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
 
 let verify_cmd =
   let run alpha ell players seed samples jobs no_cache budget_nodes
-      budget_seconds run_id resume =
+      budget_seconds run_id resume metrics =
+    with_metrics ~cmd:"verify" metrics @@ fun () ->
     with_io_guard @@ fun () ->
     let p = params alpha ell players in
     Format.printf "parameters: %a@." P.pp p;
@@ -282,13 +325,14 @@ let verify_cmd =
     Term.(
       const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg $ samples_arg
       $ jobs_arg $ no_cache_arg $ budget_nodes_arg $ budget_seconds_arg
-      $ run_id_arg $ resume_arg)
+      $ run_id_arg $ resume_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bounds *)
 
 let bounds_cmd =
-  let run alpha ell players epsilon jobs no_cache run_id resume =
+  let run alpha ell players epsilon jobs no_cache run_id resume metrics =
+    with_metrics ~cmd:"bounds" metrics @@ fun () ->
     with_io_guard @@ fun () ->
     let p = params alpha ell players in
     let cache = make_cache ~no_cache in
@@ -356,7 +400,7 @@ let bounds_cmd =
     (Cmd.info "bounds" ~exits ~doc:"Print the Theorem 1/2 round bounds.")
     Term.(
       const run $ alpha_arg $ ell_arg $ players_arg $ epsilon_arg $ jobs_arg
-      $ no_cache_arg $ run_id_arg $ resume_arg)
+      $ no_cache_arg $ run_id_arg $ resume_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* figure *)
@@ -410,7 +454,8 @@ let figure_cmd =
 (* simulate *)
 
 let simulate_cmd =
-  let run alpha ell players seed intersecting drop corrupt fault_seed =
+  let run alpha ell players seed intersecting drop corrupt fault_seed metrics =
+    with_metrics ~cmd:"simulate" metrics @@ fun () ->
     if drop < 0.0 || drop > 1.0 || corrupt < 0.0 || corrupt > 1.0 then begin
       Format.eprintf
         "simulate: --drop and --corrupt must be probabilities in [0,1]@.";
@@ -483,7 +528,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the Theorem-5 simulation on an instance.")
     Term.(
       const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg
-      $ intersecting_arg $ drop_arg $ corrupt_arg $ fault_seed_arg)
+      $ intersecting_arg $ drop_arg $ corrupt_arg $ fault_seed_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -540,7 +586,8 @@ let export_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let run max_t jobs no_cache run_id resume =
+  let run max_t jobs no_cache run_id resume metrics =
+    with_metrics ~cmd:"sweep" metrics @@ fun () ->
     with_io_guard @@ fun () ->
     let cache = make_cache ~no_cache in
     let journal = make_journal ~run_id ~resume in
@@ -573,7 +620,9 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~exits ~doc:"Sweep t and print the closing gap ratio.")
-    Term.(const run $ max_t_arg $ jobs_arg $ no_cache_arg $ run_id_arg $ resume_arg)
+    Term.(
+      const run $ max_t_arg $ jobs_arg $ no_cache_arg $ run_id_arg
+      $ resume_arg $ metrics_arg)
 
 let () =
   let doc = "lower-bound constructions for approximate MaxIS in CONGEST" in

@@ -78,9 +78,50 @@ let check_broadcast_uniform round src outbox =
           then raise (Non_uniform_broadcast { round; src }))
         rest
 
+(* Metric handles are interned per (metric, algo) pair: re-deriving them
+   here costs one registry lookup per run, and the per-send updates below
+   are plain atomic bumps (see docs/OBSERVABILITY.md for the catalog). *)
+type metrics = {
+  m_runs : Obs.Metrics.counter;
+  m_rounds : Obs.Metrics.counter;
+  m_messages : Obs.Metrics.counter;
+  m_bits : Obs.Metrics.counter;
+  m_deliveries : Obs.Metrics.counter;
+}
+
+let metrics_for algo =
+  let labels = [ ("algo", algo) ] in
+  {
+    m_runs = Obs.Metrics.counter ~labels "congest_runs_total";
+    m_rounds = Obs.Metrics.counter ~labels "congest_rounds_total";
+    m_messages = Obs.Metrics.counter ~labels "congest_messages_total";
+    m_bits = Obs.Metrics.counter ~labels "congest_bits_total";
+    m_deliveries = Obs.Metrics.counter ~labels "congest_deliveries_total";
+  }
+
+let fault_kind_label = function
+  | Trace.Dropped -> "dropped"
+  | Trace.Duplicated -> "duplicated"
+  | Trace.Corrupted -> "corrupted"
+  | Trace.Delayed _ -> "delayed"
+  | Trace.Crashed -> "crashed"
+
+let fault_counter algo kind =
+  Obs.Metrics.counter
+    ~labels:[ ("algo", algo); ("kind", fault_kind_label kind) ]
+    "congest_fault_events_total"
+
 let exec ~config (program : 'out Program.t) g trace =
   let n = Graph.n g in
   let limit = bandwidth_bits config ~n in
+  let mx = metrics_for program.Program.name in
+  Obs.Metrics.inc mx.m_runs;
+  (* Trace faults and meter them in one move; the counter handles exist
+     only for runs that actually inject. *)
+  let record_fault ~round ~src ~dst ~bits ~kind =
+    Obs.Metrics.inc (fault_counter program.Program.name kind);
+    Trace.record_fault trace ~round ~src ~dst ~bits ~kind
+  in
   let master_rng = Stdx.Prng.create config.seed in
   (* Spawn in ascending node order: per-node randomness streams are then a
      pure function of (seed, node id), which Maxis_core.Player_sim relies
@@ -147,8 +188,7 @@ let exec ~config (program : 'out Program.t) g trace =
     for v = 0 to n - 1 do
       if (not crashed.(v)) && crash_at.(v) <= !round then begin
         crashed.(v) <- true;
-        Trace.record_fault trace ~round:!round ~src:v ~dst:v ~bits:0
-          ~kind:Trace.Crashed
+        record_fault ~round:!round ~src:v ~dst:v ~bits:0 ~kind:Trace.Crashed
       end
     done;
     Hashtbl.reset sent_this_round;
@@ -175,17 +215,22 @@ let exec ~config (program : 'out Program.t) g trace =
                    { round = !round; src = v; dst; bits = total; limit });
             Hashtbl.replace sent_this_round key total;
             Trace.record_send trace ~round:!round ~src:v ~dst ~bits:m.Msg.bits;
+            Obs.Metrics.inc mx.m_messages;
+            Obs.Metrics.add mx.m_bits m.Msg.bits;
             match injector with
-            | None -> next_inboxes.(dst) <- (v, m) :: next_inboxes.(dst)
+            | None ->
+                Obs.Metrics.inc mx.m_deliveries;
+                next_inboxes.(dst) <- (v, m) :: next_inboxes.(dst)
             | Some inj ->
                 let deliveries, events = Faults.apply inj ~src:v ~dst m in
                 List.iter
                   (fun kind ->
-                    Trace.record_fault trace ~round:!round ~src:v ~dst
-                      ~bits:m.Msg.bits ~kind)
+                    record_fault ~round:!round ~src:v ~dst ~bits:m.Msg.bits
+                      ~kind)
                   events;
                 List.iter
                   (fun (d, m') ->
+                    Obs.Metrics.inc mx.m_deliveries;
                     if d = 0 then
                       next_inboxes.(dst) <- (v, m') :: next_inboxes.(dst)
                     else defer ~at:(!round + 1 + d) ~src:v ~dst m')
@@ -210,6 +255,7 @@ let exec ~config (program : 'out Program.t) g trace =
     incr round
   done;
   Trace.set_rounds trace !round;
+  Obs.Metrics.add mx.m_rounds !round;
   {
     outputs = Array.map (fun inst -> inst.Program.output ()) instances;
     rounds_executed = !round;

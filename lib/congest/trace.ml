@@ -100,6 +100,25 @@ let cut_messages t part =
     (fun acc (s : send) -> if part.(s.src) <> part.(s.dst) then acc + 1 else acc)
     0 t.sends
 
+let cut_bits_by_side t part =
+  let sides = Array.fold_left (fun acc p -> max acc (p + 1)) 0 part in
+  let per = Array.make sides 0 in
+  Stdx.Dynvec.iter
+    (fun (s : send) ->
+      if part.(s.src) <> part.(s.dst) then
+        per.(part.(s.src)) <- per.(part.(s.src)) + s.bits)
+    t.sends;
+  per
+
+let cut_bits_by_round t part =
+  let per = Array.make (rounds t) 0 in
+  Stdx.Dynvec.iter
+    (fun (s : send) ->
+      if part.(s.src) <> part.(s.dst) then
+        per.(s.round) <- per.(s.round) + s.bits)
+    t.sends;
+  per
+
 let max_bits_per_edge_round t =
   let tbl = Hashtbl.create 64 in
   Stdx.Dynvec.iter

@@ -64,6 +64,17 @@ val cut_bits : t -> int array -> int
 
 val cut_messages : t -> int array -> int
 
+val cut_bits_by_side : t -> int array -> int array
+(** [cut_bits_by_side tr part]: slot [p] holds the bits {e written} by
+    player [p] — attempted sends with [part.(src) = p] crossing the cut.
+    Array length is [1 + max part value]; [Array.fold_left (+)] over it
+    equals {!cut_bits}.  This is the per-player split of the Theorem-5
+    blackboard currency, exported per player by [Core.Simulation]'s
+    metrics. *)
+
+val cut_bits_by_round : t -> int array -> int array
+(** Per-round cut-crossing bits (length {!rounds}); sums to {!cut_bits}. *)
+
 val max_bits_per_edge_round : t -> int
 (** The largest per-(round, directed edge) total — must be at most the
     configured bandwidth (the runtime enforces it; the trace re-derives it

@@ -17,6 +17,32 @@ type report = {
   faults_injected : int;
 }
 
+(* Theorem 5's currency, exported as first-class counters: total
+   blackboard writes/bits, the per-player split of the written bits, and
+   a per-round ("per-phase") bits histogram.  Bumped once per simulation
+   from the already-computed trace aggregates, so observability adds
+   nothing to the runtime's hot loop. *)
+let round_bits_buckets = [| 16.; 64.; 256.; 1024.; 4096. |]
+
+let meter_blackboard ~algo ~(report_bits : int) ~writes ~per_player ~per_round =
+  let labels = [ ("algo", algo) ] in
+  Obs.Metrics.inc (Obs.Metrics.counter ~labels "simulation_runs_total");
+  Obs.Metrics.add (Obs.Metrics.counter ~labels "blackboard_bits_total") report_bits;
+  Obs.Metrics.add (Obs.Metrics.counter ~labels "blackboard_writes_total") writes;
+  Array.iteri
+    (fun p bits ->
+      Obs.Metrics.add
+        (Obs.Metrics.counter
+           ~labels:(("player", string_of_int p) :: labels)
+           "blackboard_player_bits_total")
+        bits)
+    per_player;
+  let h =
+    Obs.Metrics.histogram ~labels ~buckets:round_bits_buckets
+      "blackboard_round_bits"
+  in
+  Array.iter (fun bits -> Obs.Metrics.observe h (float_of_int bits)) per_round
+
 let report_of ~config (program : _ Congest.Program.t) (inst : Family.instance)
     (result : _ Runtime.result) =
   let n = Wgraph.Graph.n inst.Family.graph in
@@ -25,6 +51,11 @@ let report_of ~config (program : _ Congest.Program.t) (inst : Family.instance)
   let trace = result.Runtime.trace in
   let blackboard_bits = Trace.cut_bits trace inst.Family.partition in
   let rounds = result.Runtime.rounds_executed in
+  meter_blackboard ~algo:program.Congest.Program.name
+    ~report_bits:blackboard_bits
+    ~writes:(Trace.cut_messages trace inst.Family.partition)
+    ~per_player:(Trace.cut_bits_by_side trace inst.Family.partition)
+    ~per_round:(Trace.cut_bits_by_round trace inst.Family.partition);
   (* Directed cut capacity: each undirected cut edge carries up to B bits in
      each direction per round, matching the proof's O(T·|cut|·log n) with
      the constant made explicit.  The cap bounds ATTEMPTED traffic — what

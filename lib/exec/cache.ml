@@ -28,6 +28,21 @@ type stats = {
 let fresh_stats () =
   { hits = 0; misses = 0; stores = 0; errors = 0; bytes_read = 0; bytes_written = 0 }
 
+(* Process-wide twins of the per-cache [stats]: the struct stays the
+   source of truth for [pp_stats], the Obs counters aggregate across
+   every cache instance for the --metrics export. *)
+let m_hits = Obs.Metrics.counter "cache_hits_total"
+
+let m_misses = Obs.Metrics.counter "cache_misses_total"
+
+let m_stores = Obs.Metrics.counter "cache_stores_total"
+
+let m_errors = Obs.Metrics.counter "cache_errors_total"
+
+let m_bytes_read = Obs.Metrics.counter "cache_read_bytes_total"
+
+let m_bytes_written = Obs.Metrics.counter "cache_written_bytes_total"
+
 type t = {
   dir : string option;  (* None = disabled *)
   stats : stats;
@@ -116,6 +131,7 @@ let find t k =
   | Some dir ->
       let path = entry_path dir k in
       if not (Sys.file_exists path) then begin
+        Obs.Metrics.inc m_misses;
         locked t (fun () -> t.stats.misses <- t.stats.misses + 1);
         None
       end
@@ -124,9 +140,13 @@ let find t k =
         locked t (fun () ->
             match result with
             | Some payload ->
+                Obs.Metrics.inc m_hits;
+                Obs.Metrics.add m_bytes_read (String.length payload);
                 t.stats.hits <- t.stats.hits + 1;
                 t.stats.bytes_read <- t.stats.bytes_read + String.length payload
             | None ->
+                Obs.Metrics.inc m_misses;
+                Obs.Metrics.inc m_errors;
                 t.stats.misses <- t.stats.misses + 1;
                 t.stats.errors <- t.stats.errors + 1);
         result
@@ -178,10 +198,14 @@ let store t k payload =
          dependency. *)
       try
         Error.with_retries ~label:"cache.store" attempt;
+        Obs.Metrics.inc m_stores;
+        Obs.Metrics.add m_bytes_written (String.length payload);
         locked t (fun () ->
             t.stats.stores <- t.stats.stores + 1;
             t.stats.bytes_written <- t.stats.bytes_written + String.length payload)
-      with _ -> locked t (fun () -> t.stats.errors <- t.stats.errors + 1))
+      with _ ->
+        Obs.Metrics.inc m_errors;
+        locked t (fun () -> t.stats.errors <- t.stats.errors + 1))
 
 let memo t k compute =
   match find t k with
@@ -203,6 +227,10 @@ let memo_value t k ~encode ~decode compute =
       match decode payload with
       | Some v -> v
       | None ->
+          (* Obs counters are monotone: the raw payload hit above stays
+             counted; the decode rejection surfaces as an error + miss. *)
+          Obs.Metrics.inc m_errors;
+          Obs.Metrics.inc m_misses;
           locked t (fun () ->
               t.stats.errors <- t.stats.errors + 1;
               t.stats.hits <- t.stats.hits - 1;

@@ -35,6 +35,14 @@ type t = {
   lock : Mutex.t;
 }
 
+(* Process-wide twins of the per-journal counters, aggregated across
+   journal instances for the --metrics export. *)
+let m_appends = Obs.Metrics.counter "journal_appends_total"
+
+let m_resumed = Obs.Metrics.counter "journal_resumed_total"
+
+let m_skipped = Obs.Metrics.counter "journal_skipped_total"
+
 let disabled () =
   {
     path = None;
@@ -94,6 +102,7 @@ let load_existing t p =
             | Some digest ->
                 if not (Hashtbl.mem t.completed digest) then begin
                   Hashtbl.replace t.completed digest ();
+                  Obs.Metrics.inc m_resumed;
                   t.resumed <- t.resumed + 1
                 end
             | None ->
@@ -159,20 +168,27 @@ let record t key =
                 output_string oc line;
                 flush oc);
             Hashtbl.replace t.completed digest ();
+            Obs.Metrics.inc m_appends;
             t.appended <- t.appended + 1
           end)
 
 let memo t cache key compute =
   let was_completed = completed t key in
   let payload = Cache.memo cache key compute in
-  if was_completed then locked t (fun () -> t.skipped <- t.skipped + 1);
+  if was_completed then begin
+    Obs.Metrics.inc m_skipped;
+    locked t (fun () -> t.skipped <- t.skipped + 1)
+  end;
   record t key;
   payload
 
 let memo_value t cache key ~encode ~decode compute =
   let was_completed = completed t key in
   let v = Cache.memo_value cache key ~encode ~decode compute in
-  if was_completed then locked t (fun () -> t.skipped <- t.skipped + 1);
+  if was_completed then begin
+    Obs.Metrics.inc m_skipped;
+    locked t (fun () -> t.skipped <- t.skipped + 1)
+  end;
   record t key;
   v
 

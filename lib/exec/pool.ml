@@ -28,6 +28,27 @@ type t = {
 
 let jobs t = t.jobs
 
+(* Pool metrics (docs/OBSERVABILITY.md).  One histogram observation per
+   [map] batch — never per task — so instrumentation stays off the
+   steal-free claim path. *)
+let m_batches = Obs.Metrics.counter "pool_batches_total"
+
+let m_tasks = Obs.Metrics.counter "pool_tasks_total"
+
+let m_workers = Obs.Metrics.gauge "pool_workers"
+
+let m_map_seconds =
+  Obs.Metrics.histogram ~buckets:Obs.Metrics.default_latency_buckets
+    "pool_map_seconds"
+
+let timed_batch ~count f =
+  Obs.Metrics.inc m_batches;
+  Obs.Metrics.add m_tasks count;
+  let t0 = Obs.Span.now () in
+  let r = f () in
+  Obs.Metrics.observe m_map_seconds (Obs.Span.now () -. t0);
+  r
+
 let drain sh job =
   let rec go () =
     let i = Atomic.fetch_and_add sh.next 1 in
@@ -107,6 +128,7 @@ let create ~jobs =
       | exception Error.Error (Error.Worker_death _) -> ()
     done;
     t.domains <- Array.of_list !spawned;
+    Obs.Metrics.set m_workers (Array.length t.domains + 1);
     (* Domains left blocked at process exit would make [exit] hang; make
        every pool self-collecting. *)
     at_exit (fun () -> shutdown t);
@@ -117,6 +139,7 @@ let map t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else
+    timed_batch ~count:n @@ fun () ->
     match t.shared with
     | None -> Array.map f xs
     | Some sh ->

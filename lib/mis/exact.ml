@@ -69,6 +69,25 @@ let interval = function
 
 exception Out_of_budget of Exec.Budget.reason
 
+(* Solver metrics (docs/OBSERVABILITY.md).  Node/prune/leaf counts are
+   tallied in plain local refs inside the search and flushed in one
+   atomic add per solve, so the branch loop's per-node cost is untouched;
+   the shared cells make concurrent [solve_par] subproblems sum
+   correctly. *)
+let m_solves = Obs.Metrics.counter "solver_solves_total"
+
+let m_nodes = Obs.Metrics.counter "solver_nodes_total"
+
+let m_prunes =
+  Obs.Metrics.counter ~labels:[ ("bound", "clique_cover") ] "solver_prunes_total"
+
+let m_leaves = Obs.Metrics.counter "solver_leaves_total"
+
+let m_exhausted reason =
+  Obs.Metrics.counter
+    ~labels:[ ("reason", Exec.Budget.reason_to_string reason) ]
+    "solver_budget_exhausted_total"
+
 let branch_order g =
   (* Static order: decreasing weight, ties by decreasing degree — good both
      for the clique cover and for branching. *)
@@ -97,12 +116,21 @@ let solve_on ~budget g cands0 =
   let best_set = ref (Bitset.create n) in
   let current = Bitset.create n in
   let explored = ref 0 in
+  let leaves = ref 0 in
+  let pruned = ref 0 in
+  let flush_metrics () =
+    Obs.Metrics.inc m_solves;
+    Obs.Metrics.add m_nodes !explored;
+    Obs.Metrics.add m_leaves !leaves;
+    Obs.Metrics.add m_prunes !pruned
+  in
   let rec branch cands cur_weight =
     incr explored;
     (match Exec.Budget.check budget ~nodes:!explored with
     | Some reason -> raise (Out_of_budget reason)
     | None -> ());
     if Bitset.is_empty cands then begin
+      incr leaves;
       if cur_weight > !best_weight then begin
         best_weight := cur_weight;
         best_set := Bitset.copy current
@@ -127,10 +155,15 @@ let solve_on ~budget g cands0 =
       Bitset.remove without_v v;
       branch without_v cur_weight
     end
+    else incr pruned
   in
   match branch (Bitset.copy cands0) 0 with
-  | () -> Complete { weight = !best_weight; set = !best_set; nodes_explored = !explored }
+  | () ->
+      flush_metrics ();
+      Complete { weight = !best_weight; set = !best_set; nodes_explored = !explored }
   | exception Out_of_budget reason ->
+      flush_metrics ();
+      Obs.Metrics.inc (m_exhausted reason);
       let ub = max !best_weight (clique_cover_bound g order cands0) in
       Exhausted
         {

@@ -1,0 +1,34 @@
+(** Exporters for {!Metrics} snapshots and {!Span} profile trees.
+
+    Three formats, all rendered from an immutable snapshot so exporting
+    never perturbs the instruments it reports:
+
+    - {b JSON lines}: one object per sample —
+      [{"name":"cache_hits_total","labels":{},"type":"counter","value":3}]
+      — written atomically (temp file + rename, like
+      [Stdx.Tablefmt.write_csv]) so a killed run never leaves a truncated
+      export.  The conventional home is [results/metrics/*.jsonl].
+    - {b table}: the repo's aligned ASCII table, for humans.
+    - {b Prometheus text} (exposition format 0.0.4): for scraping or
+      diffing against fleet dashboards.
+
+    Sample order in every format is the snapshot's deterministic order. *)
+
+val jsonl : Metrics.snapshot -> string
+val prometheus : Metrics.snapshot -> string
+val table : Metrics.snapshot -> string
+
+val write : string -> string -> unit
+(** [write path contents]: atomic tmp+rename write, creating the parent
+    directory if needed.  Raises [Sys_error] on unwritable targets. *)
+
+val write_jsonl : string -> Metrics.snapshot -> unit
+(** [write (jsonl snap)] — the [--metrics] exporter of [maxis_lb]. *)
+
+val spans_csv : Span.tree list -> string
+(** Per-phase CSV: [phase,wall_s,counts] rows, depth-first with
+    slash-joined paths ([counts] as [;]-joined [k=v] pairs). *)
+
+val json_escape : string -> string
+(** Exposed for tests: minimal JSON string escaping (backslash, quote,
+    control characters). *)

@@ -1,0 +1,205 @@
+(* One global registry, interned handles.  Updates are single [Atomic]
+   bumps on pre-registered cells; the mutex guards only registration and
+   snapshotting.  Handles are physically the atomic cells, so instrumented
+   hot loops touch no registry structure at all. *)
+
+type counter = int Atomic.t
+
+type gauge = int Atomic.t
+
+type histogram = {
+  bounds : float array;  (* strictly increasing upper bounds *)
+  cells : int Atomic.t array;  (* length = Array.length bounds + 1 (+inf) *)
+  sum_micro : int Atomic.t;  (* observations in integer microunits *)
+}
+
+type entry = C of counter | G of gauge | H of histogram
+
+let registry : (string * (string * string) list, entry) Hashtbl.t =
+  Hashtbl.create 64
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let normalize_labels name labels =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+  in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: duplicate label key %S on %s" a name);
+        check rest
+    | _ -> ()
+  in
+  check sorted;
+  sorted
+
+let intern ?(labels = []) name describe make =
+  if name = "" then invalid_arg "Obs.Metrics: empty instrument name";
+  let labels = normalize_labels name labels in
+  locked (fun () ->
+      match Hashtbl.find_opt registry (name, labels) with
+      | Some e -> e
+      | None ->
+          let e = make () in
+          Hashtbl.replace registry (name, labels) e;
+          e)
+  |> fun e ->
+  match describe e with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %s already registered with another kind"
+           name)
+
+let counter ?labels name =
+  intern ?labels name
+    (function C c -> Some c | _ -> None)
+    (fun () -> C (Atomic.make 0))
+
+let inc c = Atomic.incr c
+
+let add c k =
+  if k < 0 then invalid_arg "Obs.Metrics.add: counters are monotone (k < 0)";
+  ignore (Atomic.fetch_and_add c k)
+
+let value c = Atomic.get c
+
+let gauge ?labels name =
+  intern ?labels name
+    (function G g -> Some g | _ -> None)
+    (fun () -> G (Atomic.make 0))
+
+let set g v = Atomic.set g v
+
+let gauge_value g = Atomic.get g
+
+let default_latency_buckets = [| 0.001; 0.01; 0.1; 1.0; 10.0 |]
+
+let histogram ?labels ~buckets name =
+  let ok = ref (Array.length buckets > 0) in
+  Array.iteri
+    (fun i b -> if i > 0 && buckets.(i - 1) >= b then ok := false)
+    buckets;
+  if not !ok then
+    invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing";
+  let h =
+    intern ?labels name
+      (function H h -> Some h | _ -> None)
+      (fun () ->
+        H
+          {
+            bounds = Array.copy buckets;
+            cells = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+            sum_micro = Atomic.make 0;
+          })
+  in
+  if h.bounds <> buckets then
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics.histogram: %s re-registered with different buckets"
+         name);
+  h
+
+let observe h v =
+  let nb = Array.length h.bounds in
+  let rec idx i = if i >= nb || v <= h.bounds.(i) then i else idx (i + 1) in
+  Atomic.incr h.cells.(idx 0);
+  ignore (Atomic.fetch_and_add h.sum_micro (int_of_float (Float.round (v *. 1e6))))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type kind = Counter | Gauge | Histogram
+
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  kind : kind;
+  value : float;
+  sum : float;
+  buckets : (float * int) list;
+}
+
+type snapshot = sample list
+
+let sample_of (name, labels) entry =
+  match entry with
+  | C c -> { name; labels; kind = Counter; value = float_of_int (Atomic.get c); sum = 0.; buckets = [] }
+  | G g -> { name; labels; kind = Gauge; value = float_of_int (Atomic.get g); sum = 0.; buckets = [] }
+  | H h ->
+      (* Cumulative ("le") buckets, +inf last, Prometheus-style. *)
+      let running = ref 0 in
+      let cumulative =
+        Array.to_list
+          (Array.mapi
+             (fun i cell ->
+               running := !running + Atomic.get cell;
+               let le =
+                 if i < Array.length h.bounds then h.bounds.(i) else infinity
+               in
+               (le, !running))
+             h.cells)
+      in
+      {
+        name;
+        labels;
+        kind = Histogram;
+        value = float_of_int !running;
+        sum = float_of_int (Atomic.get h.sum_micro) /. 1e6;
+        buckets = cumulative;
+      }
+
+let compare_identity a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else compare a.labels b.labels
+
+let snapshot () =
+  locked (fun () ->
+      Hashtbl.fold (fun id e acc -> sample_of id e :: acc) registry [])
+  |> List.sort compare_identity
+
+let find ?(labels = []) snap name =
+  let labels = normalize_labels name labels in
+  List.find_opt (fun s -> s.name = name && s.labels = labels) snap
+
+let get ?labels snap name =
+  match find ?labels snap name with Some s -> s.value | None -> 0.
+
+let sum_family snap name =
+  List.fold_left
+    (fun acc s -> if s.name = name && s.kind <> Histogram then acc +. s.value else acc)
+    0. snap
+
+let diff ~before ~after =
+  List.map
+    (fun (a : sample) ->
+      match List.find_opt (fun b -> compare_identity a b = 0 && b.kind = a.kind) before with
+      | None -> a
+      | Some b -> (
+          match a.kind with
+          | Gauge -> a
+          | Counter -> { a with value = a.value -. b.value }
+          | Histogram ->
+              let buckets =
+                List.map2
+                  (fun (le, ca) (_, cb) -> (le, ca - cb))
+                  a.buckets b.buckets
+              in
+              { a with value = a.value -. b.value; sum = a.sum -. b.sum; buckets }))
+    after
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | C c -> Atomic.set c 0
+          | G g -> Atomic.set g 0
+          | H h ->
+              Array.iter (fun cell -> Atomic.set cell 0) h.cells;
+              Atomic.set h.sum_micro 0)
+        registry)

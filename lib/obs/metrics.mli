@@ -1,0 +1,100 @@
+(** Process-wide metrics registry.
+
+    A single global registry of named {e counters}, {e gauges} and
+    fixed-bucket {e histograms}, each optionally carrying a set of
+    [(key, value)] labels (a labeled {e family} in Prometheus parlance:
+    [congest_messages_total{algo="luby"}]).  Handles are interned — asking
+    for the same [(name, labels)] twice returns the same instrument — so
+    instrumented code can re-derive its handles cheaply and updates from
+    worker domains all land on one cell.
+
+    The hot-path contract: updating an instrument is an [Atomic] integer
+    bump on a pre-existing cell — no allocation, no lock, no formatting.
+    Registration (the [counter]/[gauge]/[histogram] calls) takes a lock
+    and may allocate; do it once per run or per module, not per event.
+    Instruments always count, whether or not any exporter ever looks:
+    "disabled" observability is simply nobody calling {!snapshot}.
+
+    Reading is done through {!snapshot}, an immutable, deterministically
+    ordered view (sorted by name, then labels) suitable for diffing,
+    asserting in tests, and exporting. *)
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : ?labels:(string * string) list -> string -> counter
+(** [counter ~labels name] interns (and on first use registers) the
+    counter of that identity.  Labels are sorted internally; order does
+    not matter.  Raises [Invalid_argument] on an empty name or duplicate
+    label keys. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+(** [add c k] adds [k] (which must be [>= 0]; counters are monotone —
+    raises [Invalid_argument] otherwise). *)
+
+val value : counter -> int
+
+type gauge
+
+val gauge : ?labels:(string * string) list -> string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+type histogram
+
+val histogram :
+  ?labels:(string * string) list -> buckets:float array -> string -> histogram
+(** Fixed cumulative buckets: [buckets] lists the upper bounds ("le") in
+    strictly increasing order; an implicit [+inf] bucket is always
+    appended.  Re-interning an existing histogram with different buckets
+    raises [Invalid_argument].  Observations are recorded in integer
+    microunits, so values are exact up to 1e-6. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation (e.g. a latency in seconds). *)
+
+val default_latency_buckets : float array
+(** [1ms, 10ms, 100ms, 1s, 10s] — for wall-clock latencies in seconds. *)
+
+(** {1 Snapshots} *)
+
+type kind = Counter | Gauge | Histogram
+
+type sample = {
+  name : string;
+  labels : (string * string) list;  (** sorted by key *)
+  kind : kind;
+  value : float;  (** counter/gauge value; histogram observation count *)
+  sum : float;  (** histogram sum of observations; 0 otherwise *)
+  buckets : (float * int) list;
+      (** histogram cumulative (le, count) pairs, [+inf] last; [] otherwise *)
+}
+
+type snapshot = sample list
+(** Sorted by [(name, labels)]: iteration order is deterministic and
+    stable across runs, which is what makes snapshots diffable and
+    goldens byte-stable. *)
+
+val snapshot : unit -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-instrument change from [before] to [after]: counters and
+    histograms subtract (an instrument absent from [before] counts from
+    zero); gauges keep their [after] value.  Instruments absent from
+    [after] are dropped; zero-change counters are kept (their presence is
+    part of the deterministic shape). *)
+
+val find : ?labels:(string * string) list -> snapshot -> string -> sample option
+
+val get : ?labels:(string * string) list -> snapshot -> string -> float
+(** [find]'s value, defaulting to [0.] when absent. *)
+
+val sum_family : snapshot -> string -> float
+(** Total over every label combination of [name] (counters/gauges). *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (handles stay valid).  Tests and
+    long-lived drivers use this to scope measurements; prefer
+    {!snapshot} + {!diff} when concurrent updaters may be live. *)

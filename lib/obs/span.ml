@@ -1,0 +1,90 @@
+type tree = {
+  name : string;
+  wall_s : float;
+  counts : (string * int) list;
+  children : tree list;
+}
+
+(* An open span under construction; children/counts accumulate reversed. *)
+type open_span = {
+  oname : string;
+  started : float;
+  mutable ocounts : (string * int) list;
+  mutable ochildren : tree list;
+}
+
+let clock = ref Sys.time
+
+let set_clock c = clock := c
+
+let now () = !clock ()
+
+let on = ref false
+
+let set_enabled b = on := b
+
+let enabled () = !on
+
+let stack : open_span list ref = ref []
+
+let completed : tree list ref = ref []  (* reversed *)
+
+let count name k =
+  if !on then
+    match !stack with
+    | [] -> ()
+    | top :: _ ->
+        top.ocounts <-
+          (match List.assoc_opt name top.ocounts with
+          | None -> (name, k) :: top.ocounts
+          | Some v -> (name, v + k) :: List.remove_assoc name top.ocounts)
+
+let close_top () =
+  match !stack with
+  | [] -> ()
+  | top :: rest ->
+      stack := rest;
+      let t =
+        {
+          name = top.oname;
+          wall_s = now () -. top.started;
+          counts = List.sort (fun (a, _) (b, _) -> String.compare a b) top.ocounts;
+          children = List.rev top.ochildren;
+        }
+      in
+      (match rest with
+      | parent :: _ -> parent.ochildren <- t :: parent.ochildren
+      | [] -> completed := t :: !completed)
+
+let with_span name f =
+  if not !on then f ()
+  else begin
+    stack := { oname = name; started = now (); ocounts = []; ochildren = [] } :: !stack;
+    Fun.protect ~finally:close_top f
+  end
+
+let roots () = List.rev !completed
+
+let reset () =
+  stack := [];
+  completed := []
+
+let rec pp_tree ppf depth t =
+  Format.fprintf ppf "%s%-*s %8.2f ms" (String.make (2 * depth) ' ')
+    (max 1 (28 - (2 * depth)))
+    t.name (t.wall_s *. 1000.);
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%d" k v) t.counts;
+  Format.pp_print_newline ppf ();
+  List.iter (pp_tree ppf (depth + 1)) t.children
+
+let pp ppf trees = List.iter (pp_tree ppf 0) trees
+
+let to_rows trees =
+  let rows = ref [] in
+  let rec go prefix t =
+    let path = if prefix = "" then t.name else prefix ^ "/" ^ t.name in
+    rows := (path, t.wall_s, t.counts) :: !rows;
+    List.iter (go path) t.children
+  in
+  List.iter (go "") trees;
+  List.rev !rows

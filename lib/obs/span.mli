@@ -1,0 +1,57 @@
+(** Nestable timed spans emitting a profile tree.
+
+    A span measures the wall time of a dynamic extent ([with_span name f])
+    and can carry user-attached integer counts ([count "solves" 3] inside
+    the extent).  Spans nest: a span opened inside another becomes its
+    child, and completed top-level spans accumulate into a {e profile
+    tree} ({!roots}) that renders as an indented table or CSV rows.
+
+    Spans are {b off by default} and driver-scoped: when disabled,
+    [with_span name f] is [f ()] — one branch, no allocation — so
+    instrumented library code costs nothing unless a driver opts in with
+    {!set_enabled}.  The span stack is deliberately per-process and
+    single-threaded (drivers profile their orchestration layer, not pool
+    workers); updates from worker domains belong in {!Metrics} counters,
+    which spans can then absorb via {!count}.
+
+    The clock is injectable because this library depends on nothing that
+    could provide a monotonic wall clock: drivers that link [unix] should
+    install [Unix.gettimeofday] (see [bin/maxis_lb.ml]); the default is
+    [Sys.time] (CPU seconds), which keeps the library dependency-free and
+    tests deterministic enough. *)
+
+val set_clock : (unit -> float) -> unit
+val now : unit -> float
+(** Read the installed clock (also used by [Exec.Pool]'s latency
+    histogram). *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Time [f] as a span named [name].  Exceptions propagate; the span is
+    closed (and recorded) either way.  When disabled this is [f ()]. *)
+
+val count : string -> int -> unit
+(** Attach [k] to the named counter of the innermost open span; sums over
+    repeated calls.  No-op when disabled or outside any span. *)
+
+type tree = {
+  name : string;
+  wall_s : float;  (** elapsed clock time of the extent *)
+  counts : (string * int) list;  (** attached counters, sorted by name *)
+  children : tree list;  (** completed sub-spans, in open order *)
+}
+
+val roots : unit -> tree list
+(** Completed top-level spans, in completion order. *)
+
+val reset : unit -> unit
+(** Drop recorded trees and any open stack (e.g. between bench legs). *)
+
+val pp : Format.formatter -> tree list -> unit
+(** Indented human-readable profile tree with millisecond timings. *)
+
+val to_rows : tree list -> (string * float * (string * int) list) list
+(** Flatten to [(slash/joined/path, wall_s, counts)] rows, depth-first —
+    the shape the bench OBS leg writes as a per-phase CSV. *)

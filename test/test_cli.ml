@@ -59,6 +59,68 @@ let test_exit_journal_round_trip () =
   rm_rf (Filename.concat "results" "journal")
 
 (* ------------------------------------------------------------------ *)
+(* Metrics on/off parity: the observability layer must not perturb the
+   deterministic stdout contract.  All metrics output goes to the JSONL
+   file and stderr, so stdout must be byte-identical with the export on
+   or off — for the CLI and for the bench harness alike. *)
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_capture cmd out =
+  Sys.command (Printf.sprintf "%s >%s 2>/dev/null" cmd (Filename.quote out))
+
+let check_bool = Alcotest.(check bool)
+
+let test_cli_metrics_parity () =
+  let plain = Filename.temp_file "cli_plain" ".out" in
+  let metered = Filename.temp_file "cli_metered" ".out" in
+  let jsonl = Filename.temp_file "cli_metrics" ".jsonl" in
+  let cmd = Printf.sprintf "%s %s" (Filename.quote exe) base in
+  check_int "plain run" 0 (run_capture cmd plain);
+  check_int "metered run" 0
+    (run_capture (Printf.sprintf "%s --metrics=%s" cmd (Filename.quote jsonl))
+       metered);
+  Alcotest.(check string)
+    "stdout byte-identical with and without --metrics" (slurp plain)
+    (slurp metered);
+  (* The export itself landed and contains the solver's counters. *)
+  let exported = slurp jsonl in
+  check_bool "JSONL mentions solver_nodes_total" true
+    (let needle = "solver_nodes_total" in
+     let nh = String.length exported and nn = String.length needle in
+     let rec go i =
+       i + nn <= nh && (String.sub exported i nn = needle || go (i + 1))
+     in
+     go 0);
+  List.iter Sys.remove [ plain; metered; jsonl ]
+
+let bench_exe = Filename.concat ".." (Filename.concat "bench" "main.exe")
+
+let test_bench_metrics_parity () =
+  let plain = Filename.temp_file "bench_plain" ".out" in
+  let metered = Filename.temp_file "bench_metered" ".out" in
+  let jsonl = Filename.temp_file "bench_metrics" ".jsonl" in
+  (* T1-gap is a cheap deterministic cell; MAXIS_NO_CACHE keeps the two
+     runs truly identical work-wise. *)
+  let cmd capture env =
+    Sys.command
+      (Printf.sprintf "%s MAXIS_NO_CACHE=1 %s T1-gap >%s 2>/dev/null" env
+         (Filename.quote bench_exe) (Filename.quote capture))
+  in
+  check_int "plain bench cell" 0 (cmd plain "env");
+  check_int "metered bench cell" 0
+    (cmd metered (Printf.sprintf "env MAXIS_METRICS=%s" (Filename.quote jsonl)));
+  Alcotest.(check string)
+    "bench stdout byte-identical with and without MAXIS_METRICS"
+    (slurp plain) (slurp metered);
+  check_bool "bench export landed" true (String.length (slurp jsonl) > 0);
+  List.iter Sys.remove [ plain; metered; jsonl ]
+
+(* ------------------------------------------------------------------ *)
 (* Verification.exit_code precedence *)
 
 module V = Maxis_core.Verification
@@ -88,6 +150,12 @@ let () =
           Alcotest.test_case "4 on I/O errors" `Quick test_exit_io_error;
           Alcotest.test_case "journal round trip" `Quick
             test_exit_journal_round_trip;
+        ] );
+      ( "metrics-parity",
+        [
+          Alcotest.test_case "cli stdout parity" `Quick test_cli_metrics_parity;
+          Alcotest.test_case "bench stdout parity" `Quick
+            test_bench_metrics_parity;
         ] );
       ( "exit-code-unit",
         [ Alcotest.test_case "precedence" `Quick test_exit_code_unit ] );

@@ -1,0 +1,159 @@
+(* Golden-trace regression tests: pinned-seed runs of three CONGEST
+   algorithms on three small graphs, asserting the EXACT round, message,
+   bit and delivery counts observed through Obs.Metrics snapshot diffs.
+   Any change to the runtime's charging rules, the algorithms' send
+   patterns, or the metrics plumbing shows up as a diff against the
+   table below.
+
+   All runs use Runtime.default_config (seed 42 pinned); Luby's only
+   randomness derives from that seed, so every count is deterministic.
+
+   Regenerate the table after an intentional change with
+
+     MAXIS_GOLDEN_PRINT=1 dune exec test/test_golden.exe 2>/dev/null
+
+   and paste the printed rows over [goldens] below. *)
+
+module M = Obs.Metrics
+module Build = Wgraph.Build
+
+let check_int = Alcotest.(check int)
+
+type prog = P : 'o Congest.Program.t -> prog
+
+let graphs () =
+  [ ("path6", Build.path 6); ("cycle7", Build.cycle 7); ("k5", Build.complete 5) ]
+
+let programs () =
+  [
+    P (Congest.Algo_flood.max_id ~rounds:4);
+    P (Congest.Algo_bfs.distances ~root:0 ~rounds:4);
+    P Congest.Algo_luby.mis;
+  ]
+
+type counts = { rounds : int; messages : int; bits : int; deliveries : int }
+
+(* Counts for one pinned run, read back through the metrics layer (so
+   this also regression-tests the instrumentation itself, not just the
+   runtime). *)
+let measure (P program) g =
+  let algo = program.Congest.Program.name in
+  let labels = [ ("algo", algo) ] in
+  let before = M.snapshot () in
+  ignore (Congest.Runtime.run program g);
+  let d = M.diff ~before ~after:(M.snapshot ()) in
+  let c name = int_of_float (M.get ~labels d name) in
+  ( algo,
+    {
+      rounds = c "congest_rounds_total";
+      messages = c "congest_messages_total";
+      bits = c "congest_bits_total";
+      deliveries = c "congest_deliveries_total";
+    } )
+
+(* (algo, graph) -> exact counts.  Pinned from a run of this file; see
+   the header for how to regenerate. *)
+let goldens =
+  [
+    (("max-id-flood", "path6"), { rounds = 4; messages = 31; bits = 93; deliveries = 31 });
+    (("bfs-distances", "path6"), { rounds = 4; messages = 7; bits = 21; deliveries = 7 });
+    (("luby-mis", "path6"), { rounds = 3; messages = 20; bits = 70; deliveries = 20 });
+    (("max-id-flood", "cycle7"), { rounds = 4; messages = 38; bits = 114; deliveries = 38 });
+    (("bfs-distances", "cycle7"), { rounds = 4; messages = 14; bits = 42; deliveries = 14 });
+    (("luby-mis", "cycle7"), { rounds = 6; messages = 32; bits = 122; deliveries = 32 });
+    (("max-id-flood", "k5"), { rounds = 4; messages = 36; bits = 108; deliveries = 36 });
+    (("bfs-distances", "k5"), { rounds = 4; messages = 20; bits = 60; deliveries = 20 });
+    (("luby-mis", "k5"), { rounds = 3; messages = 40; bits = 140; deliveries = 40 });
+  ]
+
+let print_mode = Sys.getenv_opt "MAXIS_GOLDEN_PRINT" = Some "1"
+
+let run_cell gname g p () =
+  let algo, c = measure p g in
+  if print_mode then
+    Printf.printf
+      "((%S, %S), { rounds = %d; messages = %d; bits = %d; deliveries = %d });\n"
+      algo gname c.rounds c.messages c.bits c.deliveries
+  else begin
+    let exp =
+      match List.assoc_opt (algo, gname) goldens with
+      | Some e -> e
+      | None -> Alcotest.fail (Printf.sprintf "no golden for (%s, %s)" algo gname)
+    in
+    check_int "rounds" exp.rounds c.rounds;
+    check_int "messages" exp.messages c.messages;
+    check_int "bits" exp.bits c.bits;
+    check_int "deliveries" exp.deliveries c.deliveries
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance invariant of the metrics layer: the blackboard bits
+   counter agrees exactly with Core.Simulation's internal accounting
+   (Theorem 5's currency) — the meter is not a second, drifting
+   implementation. *)
+
+let test_blackboard_metric_matches_report () =
+  let p = Maxis_core.Params.make ~alpha:1 ~ell:4 ~players:3 in
+  let rng = Stdx.Prng.create 0x601d in
+  let x =
+    Commcx.Inputs.gen_promise rng ~k:(Maxis_core.Params.k p) ~t:3
+      ~intersecting:false
+  in
+  let inst = Maxis_core.Linear_family.instance p x in
+  let program = Congest.Algo_luby.mis in
+  let labels = [ ("algo", program.Congest.Program.name) ] in
+  let before = M.snapshot () in
+  let _, report = Maxis_core.Simulation.simulate program inst in
+  let d = M.diff ~before ~after:(M.snapshot ()) in
+  check_int "blackboard_bits_total == report.blackboard_bits"
+    report.Maxis_core.Simulation.blackboard_bits
+    (int_of_float (M.get ~labels d "blackboard_bits_total"));
+  check_int "blackboard_writes_total == report.blackboard_writes"
+    report.Maxis_core.Simulation.blackboard_writes
+    (int_of_float (M.get ~labels d "blackboard_writes_total"));
+  check_int "simulation_runs_total bumped" 1
+    (int_of_float (M.get ~labels d "simulation_runs_total"));
+  (* The per-player split partitions the total exactly. *)
+  let per_player =
+    List.fold_left
+      (fun acc (s : M.sample) ->
+        if s.M.name = "blackboard_player_bits_total" then
+          acc + int_of_float s.M.value
+        else acc)
+      0 d
+  in
+  check_int "per-player bits sum to the total"
+    report.Maxis_core.Simulation.blackboard_bits per_player;
+  (* And the per-round histogram saw one observation per round with the
+     same total sum. *)
+  match M.find ~labels d "blackboard_round_bits" with
+  | None -> Alcotest.fail "blackboard_round_bits missing"
+  | Some s ->
+      check_int "one histogram observation per round"
+        report.Maxis_core.Simulation.rounds
+        (int_of_float s.M.value);
+      check_int "histogram sum = blackboard bits"
+        report.Maxis_core.Simulation.blackboard_bits
+        (int_of_float s.M.sum)
+
+let () =
+  let cells =
+    List.concat_map
+      (fun (gname, g) ->
+        List.map
+          (fun (P prog as p) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s on %s" prog.Congest.Program.name gname)
+              `Quick (run_cell gname g p))
+          (programs ()))
+      (graphs ())
+  in
+  Alcotest.run "golden"
+    [
+      ("trace-counts", cells);
+      ( "blackboard",
+        [
+          Alcotest.test_case "metric == simulation report" `Quick
+            test_blackboard_metric_matches_report;
+        ] );
+    ]

@@ -1,0 +1,340 @@
+(* Property suite (qcheck): the repo's foundations checked against
+   independent reference models.
+
+   - Bitset set algebra vs OCaml's Set.Make(Int) on the same elements,
+   - Dynvec push/get/set round-trips vs plain lists,
+   - Prng determinism and split independence,
+   - Stats.percentile monotonicity under the NaN-safe total order,
+   - Exact.solve vs Brute.solve (subset enumeration) on random weighted
+     graphs of up to 14 vertices — the strongest oracle we have for the
+     branch-and-bound solver.
+
+   Each property runs a few hundred random cases in the default
+   `dune runtest`; counterexamples print via the generators' [~print]. *)
+
+module Bitset = Stdx.Bitset
+module Dynvec = Stdx.Dynvec
+module Prng = Stdx.Prng
+module Stats = Stdx.Stats
+module Graph = Wgraph.Graph
+module Build = Wgraph.Build
+module IntSet = Set.Make (Int)
+
+let cap = 100
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let pp_ints l = String.concat "," (List.map string_of_int l)
+
+let gen_elts =
+  QCheck.make ~print:pp_ints
+    QCheck.Gen.(list_size (int_bound 40) (int_bound (cap - 1)))
+
+let gen_pair = QCheck.pair gen_elts gen_elts
+
+let set_of l = Bitset.of_list cap l
+
+let ref_of l = IntSet.of_list l
+
+(* A bitset agrees with a reference set iff their sorted element lists
+   match; capacities are all [cap] so complement is well-defined. *)
+let agrees bs rs = Bitset.elements bs = IntSet.elements rs
+
+let full_ref = ref_of (List.init cap Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset vs Set.Make(Int) *)
+
+let t name count gen f = QCheck.Test.make ~name ~count gen f
+
+let prop_union =
+  t "bitset union = reference union" 300 gen_pair (fun (la, lb) ->
+      agrees (Bitset.union (set_of la) (set_of lb))
+        (IntSet.union (ref_of la) (ref_of lb)))
+
+let prop_inter =
+  t "bitset inter = reference inter" 300 gen_pair (fun (la, lb) ->
+      agrees (Bitset.inter (set_of la) (set_of lb))
+        (IntSet.inter (ref_of la) (ref_of lb)))
+
+let prop_diff =
+  t "bitset diff = reference diff" 300 gen_pair (fun (la, lb) ->
+      agrees (Bitset.diff (set_of la) (set_of lb))
+        (IntSet.diff (ref_of la) (ref_of lb)))
+
+let prop_complement =
+  t "bitset complement = reference complement" 300 gen_elts (fun l ->
+      agrees (Bitset.complement (set_of l)) (IntSet.diff full_ref (ref_of l)))
+
+let prop_subset =
+  t "bitset subset agrees with reference" 300 gen_pair (fun (la, lb) ->
+      Bitset.subset (set_of la) (set_of lb)
+      = IntSet.subset (ref_of la) (ref_of lb))
+
+let prop_disjoint =
+  t "bitset disjoint agrees with reference" 300 gen_pair (fun (la, lb) ->
+      Bitset.disjoint (set_of la) (set_of lb)
+      = IntSet.disjoint (ref_of la) (ref_of lb))
+
+let prop_inter_cardinal =
+  t "bitset inter_cardinal = |A inter B|" 300 gen_pair (fun (la, lb) ->
+      Bitset.inter_cardinal (set_of la) (set_of lb)
+      = IntSet.cardinal (IntSet.inter (ref_of la) (ref_of lb)))
+
+let prop_in_place =
+  t "bitset in-place ops = allocating ops" 300 gen_pair (fun (la, lb) ->
+      let check op op_in_place =
+        let a = set_of la and b = set_of lb in
+        let expect = op a b in
+        op_in_place a b;
+        Bitset.equal a expect
+      in
+      check Bitset.union Bitset.union_in_place
+      && check Bitset.inter Bitset.inter_in_place
+      && check Bitset.diff Bitset.diff_in_place)
+
+let prop_add_remove =
+  t "bitset add/remove membership round-trip" 300
+    (QCheck.pair gen_elts (QCheck.int_bound (cap - 1)))
+    (fun (l, i) ->
+      let s = set_of l in
+      Bitset.add s i;
+      let after_add = Bitset.mem s i in
+      Bitset.remove s i;
+      after_add && not (Bitset.mem s i))
+
+let prop_fold_sorted =
+  t "bitset fold visits members in increasing order" 300 gen_elts (fun l ->
+      let visited = List.rev (Bitset.fold List.cons (set_of l) []) in
+      visited = IntSet.elements (ref_of l))
+
+(* ------------------------------------------------------------------ *)
+(* Dynvec vs list *)
+
+let prop_dynvec_push_get =
+  t "dynvec push/get round-trip" 300 gen_elts (fun l ->
+      let v = Dynvec.create () in
+      List.iter (Dynvec.push v) l;
+      Dynvec.length v = List.length l
+      && List.for_all2
+           (fun i x -> Dynvec.get v i = x)
+           (List.init (List.length l) Fun.id)
+           l)
+
+let prop_dynvec_to_list =
+  t "dynvec to_list/to_array preserve push order" 300 gen_elts (fun l ->
+      let v = Dynvec.create () in
+      List.iter (Dynvec.push v) l;
+      Dynvec.to_list v = l && Array.to_list (Dynvec.to_array v) = l)
+
+let prop_dynvec_set_get =
+  t "dynvec set/get round-trip" 300
+    QCheck.(
+      pair
+        (make ~print:pp_ints Gen.(list_size (int_range 1 40) (int_bound 99)))
+        (pair small_nat small_nat))
+    (fun (l, (i, x)) ->
+      let v = Dynvec.create () in
+      List.iter (Dynvec.push v) l;
+      let i = i mod List.length l in
+      Dynvec.set v i x;
+      Dynvec.get v i = x
+      && List.for_all
+           (fun j -> j = i || Dynvec.get v j = List.nth l j)
+           (List.init (List.length l) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let prop_prng_deterministic =
+  t "prng same seed => same stream" 100 QCheck.small_int (fun seed ->
+      let a = Prng.create seed and b = Prng.create seed in
+      List.init 50 (fun _ -> Prng.int64 a) = List.init 50 (fun _ -> Prng.int64 b))
+
+let prop_prng_split_deterministic =
+  t "prng split is deterministic" 100 QCheck.small_int (fun seed ->
+      let child seed' =
+        let g = Prng.create seed' in
+        let c = Prng.split g in
+        List.init 20 (fun _ -> Prng.int64 c)
+      in
+      child seed = child seed)
+
+let prop_prng_split_independent =
+  t "prng split child diverges from parent continuation" 100 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create seed in
+      let c = Prng.split g in
+      let parent = List.init 20 (fun _ -> Prng.int64 g) in
+      let child = List.init 20 (fun _ -> Prng.int64 c) in
+      parent <> child)
+
+let prop_prng_int_bounds =
+  t "prng int lands in [0, bound)" 200
+    (QCheck.pair QCheck.small_int (QCheck.int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      List.for_all
+        (fun _ ->
+          let v = Prng.int g bound in
+          0 <= v && v < bound)
+        (List.init 100 Fun.id))
+
+let prop_prng_sample =
+  t "prng sample_without_replacement sorted distinct in range" 200
+    (QCheck.pair QCheck.small_int (QCheck.int_range 1 50))
+    (fun (seed, n) ->
+      let g = Prng.create seed in
+      let m = Prng.int g (n + 1) in
+      let s = Prng.sample_without_replacement g n m in
+      List.length s = m
+      && List.sort_uniq compare s = s
+      && List.for_all (fun x -> 0 <= x && x < n) s)
+
+let prop_prng_shuffle =
+  t "prng shuffle is a permutation" 200
+    (QCheck.pair QCheck.small_int gen_elts)
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Prng.shuffle (Prng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+(* ------------------------------------------------------------------ *)
+(* Stats.percentile *)
+
+let gen_floats_with_nan =
+  QCheck.make
+    ~print:(fun l -> String.concat "," (List.map string_of_float l))
+    QCheck.Gen.(
+      map2
+        (fun l nans -> List.map (fun b -> if b then nan else 1.0) nans @ l)
+        (list_size (int_range 1 30) (float_bound_inclusive 1000.0))
+        (list_size (int_bound 3) bool))
+
+let prop_percentile_monotone =
+  t "percentile monotone in p (NaN-safe order)" 300
+    (QCheck.triple gen_floats_with_nan (QCheck.float_range 0.0 100.0)
+       (QCheck.float_range 0.0 100.0))
+    (fun (l, p1, p2) ->
+      let xs = Array.of_list l in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Float.compare (Stats.percentile xs lo) (Stats.percentile xs hi) <= 0)
+
+let prop_percentile_bounds =
+  t "percentile 100 is the max under the NaN-safe order" 300
+    gen_floats_with_nan (fun l ->
+      let xs = Array.of_list l in
+      let top = Stats.percentile xs 100.0 in
+      Array.for_all (fun x -> Float.compare x top <= 0) xs)
+
+let prop_percentile_member =
+  t "percentile returns a sample (nearest-rank)" 300
+    (QCheck.pair gen_floats_with_nan (QCheck.float_range 0.0 100.0))
+    (fun (l, p) ->
+      let xs = Array.of_list l in
+      let v = Stats.percentile xs p in
+      List.exists (fun x -> Float.compare x v = 0) l)
+
+let prop_summary_ordered =
+  t "summarize: min <= median <= max" 300
+    (QCheck.make
+       ~print:(fun l -> String.concat "," (List.map string_of_float l))
+       QCheck.Gen.(list_size (int_range 1 30) (float_bound_inclusive 1000.0)))
+    (fun l ->
+      let s = Stats.summarize (Array.of_list l) in
+      s.Stats.min <= s.Stats.median
+      && s.Stats.median <= s.Stats.max
+      && s.Stats.min <= s.Stats.mean
+      && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Exact vs Brute on random small weighted graphs *)
+
+(* Graphs are generated from a Prng seed so shrinking stays meaningful
+   (the seed is the counterexample) and cases are reproducible. *)
+let gen_graph =
+  QCheck.make
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(pair (int_bound 1_000_000) (int_range 1 14))
+
+let build_graph (seed, n) =
+  let rng = Prng.create (Hashtbl.hash ("props", seed, n)) in
+  let p = 0.1 +. Prng.float rng 0.6 in
+  let g = Build.erdos_renyi rng n p in
+  Build.random_weights rng g 9;
+  g
+
+let prop_exact_vs_brute =
+  t "Exact.solve = Brute.solve on random graphs (n <= 14)" 150 gen_graph
+    (fun case ->
+      let g = build_graph case in
+      let sol = Mis.Exact.solve g in
+      let bw, bset = Mis.Brute.solve g in
+      sol.Mis.Exact.weight = bw
+      && Mis.Verify.solution_ok g ~claimed_weight:sol.Mis.Exact.weight
+           sol.Mis.Exact.set
+      && Mis.Verify.solution_ok g ~claimed_weight:bw bset)
+
+let prop_exact_induced =
+  t "Exact.solve_induced <= OPT and verifies" 100
+    (QCheck.pair gen_graph gen_elts)
+    (fun (case, l) ->
+      let g = build_graph case in
+      let n = Graph.n g in
+      let sub = Bitset.create n in
+      List.iter (fun i -> Bitset.add sub (i mod n)) l;
+      let sol = Mis.Exact.solve_induced g sub in
+      sol.Mis.Exact.weight <= Mis.Exact.opt g
+      && Bitset.subset sol.Mis.Exact.set sub
+      && Mis.Verify.solution_ok g ~claimed_weight:sol.Mis.Exact.weight
+           sol.Mis.Exact.set)
+
+let prop_greedy_below_exact =
+  t "Greedy <= Exact <= clique-cover bound" 150 gen_graph (fun case ->
+      let g = build_graph case in
+      let _, greedy, cover = Mis.Bounds.sandwich g in
+      let opt = Mis.Exact.opt g in
+      greedy <= opt && opt <= cover)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "props"
+    [
+      qsuite "bitset-vs-reference"
+        [
+          prop_union;
+          prop_inter;
+          prop_diff;
+          prop_complement;
+          prop_subset;
+          prop_disjoint;
+          prop_inter_cardinal;
+          prop_in_place;
+          prop_add_remove;
+          prop_fold_sorted;
+        ];
+      qsuite "dynvec"
+        [ prop_dynvec_push_get; prop_dynvec_to_list; prop_dynvec_set_get ];
+      qsuite "prng"
+        [
+          prop_prng_deterministic;
+          prop_prng_split_deterministic;
+          prop_prng_split_independent;
+          prop_prng_int_bounds;
+          prop_prng_sample;
+          prop_prng_shuffle;
+        ];
+      qsuite "stats"
+        [
+          prop_percentile_monotone;
+          prop_percentile_bounds;
+          prop_percentile_member;
+          prop_summary_ordered;
+        ];
+      qsuite "solver-oracle"
+        [ prop_exact_vs_brute; prop_exact_induced; prop_greedy_below_exact ];
+    ]
