@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-par verify examples soak faults figures kill-resume cache-clean journal-clean clean
+.PHONY: all build test bench bench-par verify examples soak faults chaos fsck figures kill-resume cache-clean journal-clean clean
 
 all: build
 
@@ -38,6 +38,17 @@ soak:
 # Fault injection: hardened delivery vs adversarial links (docs/FAULTS.md).
 faults:
 	dune exec bench/main.exe -- FAULTS
+
+# Supervised execution under combined fault plans: chaos test suite +
+# the seeded bench leg (docs/RESILIENCE.md).
+chaos:
+	dune exec test/test_chaos.exe
+	dune exec bench/main.exe -- CHAOS
+
+# Offline integrity scan of the result cache and sweep journals;
+# quarantines invalid entries (exit 2 when damage was found).
+fsck:
+	dune exec bin/maxis_lb.exe -- fsck
 
 figures:
 	dune exec bench/main.exe -- F1-F6

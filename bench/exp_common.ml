@@ -24,7 +24,7 @@ let rng_for id = Stdx.Prng.create (Hashtbl.hash id)
    byte-identical for any jobs/cache setting; the only run-dependent
    output is the counter line below, which therefore goes to stderr. *)
 
-let pool = lazy (Exec.Pool.create ~jobs:(Exec.Pool.default_jobs ()))
+let pool = lazy (Exec.Pool.create ~jobs:(Exec.Pool.default_jobs ()) ())
 
 (* Exact solves actually computed this run (cache misses).  Atomic: the
    computes run on pool domains. *)

@@ -18,6 +18,7 @@ let experiments =
     ("FAULTS", "fault injection: hardened delivery vs adversarial links", Exp_faults.run);
     ("PERF", "Bechamel timing benches", Exp_perf.run);
     ("OBS", "metrics + span profile of one pipeline cell", Exp_obs.run);
+    ("CHAOS", "supervised execution under combined fault plans", Exp_chaos.run);
   ]
 
 (* Subsets of the umbrella ids, so `-- T2-gap` etc. also work. *)
@@ -38,6 +39,9 @@ let aliases =
   ]
 
 let () =
+  (* Retry backoff should yield the CPU, not spin: the library default
+     exists only because lib/exec carries no unix dependency. *)
+  Exec.Error.set_default_sleep Unix.sleepf;
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "list" ] ->

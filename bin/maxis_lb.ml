@@ -624,7 +624,53 @@ let sweep_cmd =
       const run $ max_t_arg $ jobs_arg $ no_cache_arg $ run_id_arg
       $ resume_arg $ metrics_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fsck *)
+
+let fsck_cmd =
+  let run cache_dir journal_dir quiet metrics =
+    with_metrics ~cmd:"fsck" metrics @@ fun () ->
+    with_io_guard @@ fun () ->
+    let on_quarantine ~kind ~path =
+      if not quiet then Format.eprintf "fsck: quarantined [%s] %s@." kind path
+    in
+    let report = Exec.Fsck.run ~cache_dir ~journal_dir ~on_quarantine () in
+    Format.printf "%a@." Exec.Fsck.pp_report report;
+    if Exec.Fsck.clean report then 0 else 2
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Exec.Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result-cache tree to scan.")
+  in
+  let journal_dir_arg =
+    Arg.(
+      value
+      & opt string Exec.Journal.default_dir
+      & info [ "journal-dir" ] ~docv:"DIR" ~doc:"Journal directory to scan.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Do not list quarantined items on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "fsck" ~exits
+       ~doc:
+         "Scan the on-disk cache and journal trees, quarantine invalid \
+          entries (moved, never deleted: cache entries into \
+          $(i,cache-dir)/quarantine/, corrupt journal tails into \
+          $(i,journal-dir)/quarantine/), remove stray temp files, and \
+          report counts.  Exits 0 when everything was valid, 2 when \
+          damage was found (and repaired: a rerun exits 0).")
+    Term.(
+      const run $ cache_dir_arg $ journal_dir_arg $ quiet_arg $ metrics_arg)
+
 let () =
+  (* Retry backoff should yield the CPU, not spin: the library default
+     exists only because lib/exec carries no unix dependency. *)
+  Exec.Error.set_default_sleep Unix.sleepf;
   let doc = "lower-bound constructions for approximate MaxIS in CONGEST" in
   exit
     (Cmd.eval'
@@ -638,4 +684,5 @@ let () =
             simulate_cmd;
             export_cmd;
             sweep_cmd;
+            fsck_cmd;
           ]))

@@ -286,7 +286,7 @@ let reduction_checks rng p =
 
 let run ?(seed = 0xa0d17) ?(samples = 4) ?pool ?cache ?budget ?journal p =
   let pool =
-    match pool with Some p -> p | None -> Exec.Pool.create ~jobs:1
+    match pool with Some p -> p | None -> Exec.Pool.create ~jobs:1 ()
   in
   let cache =
     match cache with Some c -> c | None -> Exec.Cache.disabled ()

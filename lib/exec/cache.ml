@@ -10,7 +10,9 @@
 
    Every read re-derives the payload digest and compares the stored key,
    so a truncated file, a hash collision, a schema change or random bit
-   rot all degrade to a miss. *)
+   rot all degrade to a miss.  All I/O goes through an [Fsio.t] backend
+   so the chaos suite can inject filesystem faults under exactly these
+   claims. *)
 
 let schema_version = 1
 
@@ -45,16 +47,23 @@ let m_bytes_written = Obs.Metrics.counter "cache_written_bytes_total"
 
 type t = {
   dir : string option;  (* None = disabled *)
+  fs : Fsio.t;
   stats : stats;
   lock : Mutex.t;
   mutable tmp_seq : int;  (* uniquifies temp names within the process *)
 }
 
-let create ?(dir = default_dir) () =
-  { dir = Some dir; stats = fresh_stats (); lock = Mutex.create (); tmp_seq = 0 }
+let create ?(fs = Fsio.real) ?(dir = default_dir) () =
+  { dir = Some dir; fs; stats = fresh_stats (); lock = Mutex.create (); tmp_seq = 0 }
 
 let disabled () =
-  { dir = None; stats = fresh_stats (); lock = Mutex.create (); tmp_seq = 0 }
+  {
+    dir = None;
+    fs = Fsio.real;
+    stats = fresh_stats ();
+    lock = Mutex.create ();
+    tmp_seq = 0;
+  }
 
 let enabled t = t.dir <> None
 
@@ -95,48 +104,97 @@ let shard_dir dir k = Filename.concat dir (String.sub k.digest 0 2)
 
 let entry_path dir k = Filename.concat (shard_dir dir k) (k.digest ^ ".entry")
 
-let rec mkdir_p path =
-  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
-  then begin
-    mkdir_p (Filename.dirname path);
-    try Sys.mkdir path 0o755
-    with Sys_error _ -> () (* lost a race with a concurrent mkdir: fine *)
-  end
+let mkdir_p ?fs path = Stdx.Fsio.mkdir_p ?fs path
+
+(* ------------------------------------------------------------------ *)
+(* Entry format *)
+
+let encode_entry canonical payload =
+  let b = Buffer.create (String.length payload + 128) in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (String.escaped canonical);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Digest.to_hex (Digest.string payload));
+  Buffer.add_char b '\n';
+  Buffer.add_string b (string_of_int (String.length payload));
+  Buffer.add_char b '\n';
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Parse the four header lines + payload out of raw file contents.
+   Returns [(escaped_key, payload)]; [Error reason] on any structural or
+   digest mismatch. *)
+let decode_entry contents =
+  let next_line pos =
+    match String.index_from_opt contents pos '\n' with
+    | None -> None
+    | Some nl -> Some (String.sub contents pos (nl - pos), nl + 1)
+  in
+  match next_line 0 with
+  | Some (m, pos) when m = magic -> (
+      match next_line pos with
+      | None -> Error "truncated header (no key line)"
+      | Some (escaped_key, pos) -> (
+          match next_line pos with
+          | None -> Error "truncated header (no digest line)"
+          | Some (payload_md5, pos) -> (
+              match next_line pos with
+              | None -> Error "truncated header (no length line)"
+              | Some (len_line, pos) -> (
+                  match int_of_string_opt len_line with
+                  | None -> Error "unparsable payload length"
+                  | Some len when len < 0 -> Error "negative payload length"
+                  | Some len ->
+                      if String.length contents - pos < len then
+                        Error "truncated payload"
+                      else
+                        let payload = String.sub contents pos len in
+                        if Digest.to_hex (Digest.string payload) = payload_md5
+                        then Ok (escaped_key, payload)
+                        else Error "payload digest mismatch"))))
+  | Some _ -> Error "bad magic"
+  | None -> Error "empty file"
+
+let read_entry fs path k =
+  match decode_entry (fs.Fsio.read_file path) with
+  | Error _ -> None
+  | Ok (escaped_key, payload) ->
+      if escaped_key = String.escaped k.canonical then Some payload else None
+
+(* Standalone structural validation for fsck: checks magic, header
+   shape, payload digest, and that the file's basename matches the MD5
+   of the canonical key it claims to hold. *)
+let validate_file ?(fs = Fsio.real) path =
+  match fs.Fsio.read_file path with
+  | exception Sys_error m -> Error ("unreadable: " ^ m)
+  | contents -> (
+      match decode_entry contents with
+      | Error reason -> Error reason
+      | Ok (escaped_key, _payload) -> (
+          match Scanf.unescaped escaped_key with
+          | exception (Scanf.Scan_failure _ | Failure _) ->
+              Error "unparsable canonical key"
+          | canonical ->
+              let expected = fingerprint canonical ^ ".entry" in
+              if Filename.basename path = expected then Ok canonical
+              else Error "filename does not match key digest"))
 
 (* ------------------------------------------------------------------ *)
 (* Lookup *)
-
-let read_entry path k =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      if input_line ic <> magic then None
-      else if input_line ic <> String.escaped k.canonical then None
-      else begin
-        let payload_md5 = input_line ic in
-        match int_of_string_opt (input_line ic) with
-        | None -> None
-        | Some len when len < 0 -> None
-        | Some len ->
-            let payload = really_input_string ic len in
-            if Digest.to_hex (Digest.string payload) = payload_md5 then
-              Some payload
-            else None
-      end)
 
 let find t k =
   match t.dir with
   | None -> None
   | Some dir ->
       let path = entry_path dir k in
-      if not (Sys.file_exists path) then begin
+      if not (t.fs.Fsio.file_exists path) then begin
         Obs.Metrics.inc m_misses;
         locked t (fun () -> t.stats.misses <- t.stats.misses + 1);
         None
       end
       else begin
-        let result = try read_entry path k with _ -> None in
+        let result = try read_entry t.fs path k with _ -> None in
         locked t (fun () ->
             match result with
             | Some payload ->
@@ -169,28 +227,16 @@ let store t k payload =
       let seq = locked t (fun () -> t.tmp_seq <- t.tmp_seq + 1; t.tmp_seq) in
       let attempt () =
         let shard = shard_dir dir k in
-        mkdir_p shard;
+        mkdir_p ~fs:t.fs shard;
         let tmp =
           Filename.concat shard
             (Printf.sprintf ".tmp-%s-%d-%d" k.digest (Lazy.force process_token) seq)
         in
-        let oc = open_out_bin tmp in
-        (try
-           output_string oc magic;
-           output_char oc '\n';
-           output_string oc (String.escaped k.canonical);
-           output_char oc '\n';
-           output_string oc (Digest.to_hex (Digest.string payload));
-           output_char oc '\n';
-           output_string oc (string_of_int (String.length payload));
-           output_char oc '\n';
-           output_string oc payload;
-           close_out oc
+        (try t.fs.Fsio.write_file tmp (encode_entry k.canonical payload)
          with e ->
-           close_out_noerr oc;
-           (try Sys.remove tmp with Sys_error _ -> ());
+           (try t.fs.Fsio.remove tmp with Sys_error _ -> ());
            raise e);
-        Sys.rename tmp (entry_path dir k)
+        t.fs.Fsio.rename tmp (entry_path dir k)
       in
       (* A full disk or a racing cleaner can fail one attempt without
          poisoning the sweep: retry transient failures briefly, then
@@ -244,12 +290,13 @@ let clear t =
   match t.dir with
   | None -> ()
   | Some dir ->
+      let fs = t.fs in
       let rec rm path =
-        if Sys.file_exists path then
-          if Sys.is_directory path then begin
-            Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
-            try Sys.rmdir path with Sys_error _ -> ()
+        if fs.Fsio.file_exists path then
+          if fs.Fsio.is_directory path then begin
+            Array.iter (fun f -> rm (Filename.concat path f)) (fs.Fsio.readdir path);
+            try fs.Fsio.rmdir path with Sys_error _ -> ()
           end
-          else try Sys.remove path with Sys_error _ -> ()
+          else try fs.Fsio.remove path with Sys_error _ -> ()
       in
       rm dir

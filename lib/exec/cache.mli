@@ -41,9 +41,12 @@ val schema_version : int
 val default_dir : string
 (** ["results/cache"]. *)
 
-val create : ?dir:string -> unit -> t
+val create : ?fs:Fsio.t -> ?dir:string -> unit -> t
 (** A live cache rooted at [dir] (default {!default_dir}).  The directory
-    is created lazily on the first store. *)
+    is created lazily on the first store.  [fs] (default {!Fsio.real})
+    routes every filesystem operation — the chaos suite passes
+    {!Fsio.chaos} here to exercise the corruption-tolerance claims under
+    injected faults. *)
 
 val disabled : unit -> t
 (** A cache that never hits and never stores; all counters stay 0. *)
@@ -109,6 +112,13 @@ val clear : t -> unit
 (** Delete every entry under the cache directory (and the directory
     itself).  A disabled cache is a no-op. *)
 
-val mkdir_p : string -> unit
+val mkdir_p : ?fs:Fsio.t -> string -> unit
 (** [mkdir] with parents, racing-writer tolerant.  Shared with
     {!Journal} (and anything else persisting under [results/]). *)
+
+val validate_file : ?fs:Fsio.t -> string -> (string, string) result
+(** [validate_file path] structurally checks one on-disk entry without a
+    key in hand: magic line, header shape, payload digest, and that the
+    file's basename matches the MD5 of the canonical key it claims to
+    hold.  [Ok canonical] when sound; [Error reason] otherwise.  The
+    scanner behind [maxis_lb fsck] ({!Fsck}). *)

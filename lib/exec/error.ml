@@ -24,10 +24,11 @@ let transient = function
   | End_of_file -> true
   | _ -> false
 
-(* The exec library carries no unix dependency, so the default backoff
+(* The exec library carries no unix dependency, so the fallback backoff
    sleep is a clock spin.  It only ever runs on the rare retry path and
-   for a bounded total (attempts are capped), and callers with unix
-   linked can inject [Unix.sleepf]. *)
+   for a bounded total (attempts are capped); drivers that do link unix
+   install [Unix.sleepf] once via [set_default_sleep] so the backoff
+   yields the CPU instead of spinning. *)
 let spin_sleep seconds =
   if seconds > 0.0 then begin
     let t0 = Sys.time () in
@@ -36,13 +37,22 @@ let spin_sleep seconds =
     done
   end
 
-let with_retries ?(attempts = 3) ?(base_delay_s = 0.002) ?(sleep = spin_sleep)
-    ~label f =
+let default_sleep_ref = ref spin_sleep
+
+let set_default_sleep f = default_sleep_ref := f
+
+let default_sleep d = !default_sleep_ref d
+
+let with_retries ?(attempts = 3) ?(base_delay_s = 0.002) ?sleep ~label f =
   if attempts < 1 then invalid_arg "Exec.Error.with_retries: attempts must be >= 1";
-  ignore (label : string) (* context for debuggers/backtraces only *);
+  let sleep = match sleep with Some s -> s | None -> default_sleep in
   let rec go i =
     try f ()
     with e when transient e && i < attempts ->
+      (* Interning takes a lock, but only the rare retry path reaches it
+         (docs/OBSERVABILITY.md: exec_retries_total{label}). *)
+      Obs.Metrics.inc
+        (Obs.Metrics.counter ~labels:[ ("label", label) ] "exec_retries_total");
       (* Exponential backoff: base, 2*base, 4*base, ... *)
       sleep (base_delay_s *. float_of_int (1 lsl (i - 1)));
       go (i + 1)

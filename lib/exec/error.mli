@@ -12,7 +12,9 @@
 type kind =
   | Cache_io of string  (** result-cache read/write/rename failure *)
   | Journal_io of string  (** sweep-journal open/append failure *)
-  | Worker_death of string  (** a pool worker domain could not be spawned *)
+  | Worker_death of string
+      (** a pool worker domain died, could not be spawned, or a poison
+          task was quarantined after killing its executors *)
   | Io of string  (** other I/O (CSV writes, figure exports) *)
 
 exception Error of kind
@@ -36,6 +38,18 @@ val with_retries :
 (** [with_retries ~label f] runs [f], retrying up to [attempts] (default
     3) total tries while {!transient} holds, sleeping
     [base_delay_s · 2ⁱ] between tries (default base 2 ms; [sleep]
-    defaults to a clock spin so the library needs no unix dependency —
-    inject [Unix.sleepf] where it is linked).  Non-transient exceptions,
-    and the last transient one, propagate unchanged. *)
+    defaults to the process-wide sleep of {!set_default_sleep}).
+    Every retry bumps the [exec_retries_total{label}] counter, so chaos
+    runs can assert that injected transient faults were in fact
+    absorbed by this policy.  Non-transient exceptions, and the last
+    transient one, propagate unchanged. *)
+
+val set_default_sleep : (float -> unit) -> unit
+(** Install the process-wide backoff sleep used when a [with_retries]
+    call does not pass its own.  The library default is a [Sys.time]
+    clock spin (no unix dependency); [bin/] and [bench/] install
+    [Unix.sleepf] at startup so retry backoff yields the CPU. *)
+
+val default_sleep : float -> unit
+(** The currently-installed process-wide sleep ({!set_default_sleep});
+    also the default watchdog sleep of {!Pool.create}. *)

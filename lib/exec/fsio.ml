@@ -1,0 +1,27 @@
+(* The execution engine's view of Stdx.Fsio: the same interface and
+   plans, plus Obs metering — injections surface as
+   fsio_faults_injected_total{kind} so a chaos run's fault pressure is
+   visible next to the recovery counters it provokes (cache errors,
+   retries, quarantines). *)
+
+include Stdx.Fsio
+
+(* Pre-interned per kind: injection sits on cache/journal hot paths. *)
+let m_fault kind =
+  Obs.Metrics.counter ~labels:[ ("kind", kind) ] "fsio_faults_injected_total"
+
+let meters =
+  lazy
+    (List.map
+       (fun k -> (k, m_fault k))
+       [ "eintr"; "enospc"; "torn"; "flip"; "rename" ])
+
+let chaos ?(on_fault = fun _ -> ()) inj =
+  let meters = Lazy.force meters in
+  Stdx.Fsio.faulty
+    ~on_fault:(fun kind ->
+      (match List.assoc_opt kind meters with
+      | Some c -> Obs.Metrics.inc c
+      | None -> ());
+      on_fault kind)
+    inj

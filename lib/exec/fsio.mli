@@ -1,0 +1,17 @@
+(** The execution engine's filesystem interface.
+
+    A re-export of [Stdx.Fsio] (the pluggable operation record, the real
+    backend, seeded fault plans) plus {!chaos}, the fault-injecting
+    backend the chaos harness feeds to {!Cache}, {!Journal},
+    [Obs.Export] and [Stdx.Tablefmt]: every injected fault additionally
+    bumps [fsio_faults_injected_total{kind}] in the process-wide metrics
+    registry, so a chaos run's fault pressure is visible next to the
+    recovery counters it provokes. *)
+
+include module type of struct
+  include Stdx.Fsio
+end
+
+val chaos : ?on_fault:(string -> unit) -> injector -> t
+(** [Stdx.Fsio.faulty] with Obs metering; [on_fault] composes after the
+    metric bump. *)

@@ -8,11 +8,13 @@
    Each line is self-validating: the digest is the MD5 of the unescaped
    canonical key (exactly [Cache.digest_hex]), so a line torn by a crash
    mid-append fails re-derivation and loading stops there — every line
-   before the tear is still trusted.  Appends are single [output_string]
-   calls on an append-mode channel followed by a flush, so concurrent
-   writers within one process (pool workers) serialize under the mutex
-   and a SIGKILL can lose at most the line being written, never corrupt
-   earlier ones.
+   before the tear is still trusted.  Appends go through
+   [Fsio.append_line] — open-append, write, flush, close per cell — so
+   each is durable the moment [record] returns, concurrent writers
+   within one process (pool workers) serialize under the mutex, and a
+   SIGKILL can lose at most the line being written, never corrupt
+   earlier ones.  Routing through [Fsio] also puts the torn-tail claim
+   under the chaos suite's injected-fault microscope.
 
    The journal records *completion*, not values: values re-materialize
    from [Exec.Cache], which is written before the journal line (store
@@ -27,7 +29,8 @@ let default_dir = Filename.concat "results" "journal"
 
 type t = {
   path : string option;  (* None = disabled *)
-  mutable oc : out_channel option;
+  fs : Fsio.t;
+  mutable writable : bool;  (* false after [close] *)
   completed : (string, unit) Hashtbl.t;  (* digest hex -> () *)
   mutable resumed : int;  (* entries loaded from disk at open *)
   mutable appended : int;  (* entries written by this process *)
@@ -46,7 +49,8 @@ let m_skipped = Obs.Metrics.counter "journal_skipped_total"
 let disabled () =
   {
     path = None;
-    oc = None;
+    fs = Fsio.real;
+    writable = false;
     completed = Hashtbl.create 1;
     resumed = 0;
     appended = 0;
@@ -80,39 +84,53 @@ let parse_line line =
             if Digest.to_hex (Digest.string canonical) = digest then Some digest
             else None)
 
+(* Split raw journal bytes into the header and the newline-terminated
+   body lines; the final chunk, if not newline-terminated, is a torn
+   append and is returned as-is (it will fail [parse_line]). *)
+let split_lines contents =
+  let n = String.length contents in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      match String.index_from_opt contents pos '\n' with
+      | Some nl -> go (nl + 1) (String.sub contents pos (nl - pos) :: acc)
+      | None -> List.rev (String.sub contents pos (n - pos) :: acc)
+  in
+  go 0 []
+
+(* The number of leading journal lines (header excluded) that are
+   individually valid; loading and fsck both stop at the first bad
+   line — everything after it is untrusted.  Exposed for {!Fsck}. *)
+let valid_prefix lines =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | line :: rest -> (
+        match parse_line line with
+        | Some digest -> go ((line, digest) :: acc) rest
+        | None -> List.rev acc)
+  in
+  go [] lines
+
 let load_existing t p =
-  let ic =
-    try open_in_bin p
+  let contents =
+    try t.fs.Fsio.read_file p
     with Sys_error m -> raise (Error.Error (Error.Journal_io m))
   in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      (match input_line ic with
-      | header when header = magic -> ()
-      | _ -> raise (Error.Error (Error.Journal_io (p ^ ": not a journal (bad header)")))
-      | exception End_of_file ->
-          raise (Error.Error (Error.Journal_io (p ^ ": empty journal file"))));
-      let stop = ref false in
-      while not !stop do
-        match input_line ic with
-        | exception End_of_file -> stop := true
-        | line -> (
-            match parse_line line with
-            | Some digest ->
-                if not (Hashtbl.mem t.completed digest) then begin
-                  Hashtbl.replace t.completed digest ();
-                  Obs.Metrics.inc m_resumed;
-                  t.resumed <- t.resumed + 1
-                end
-            | None ->
-                (* A torn or foreign line: everything after it is
-                   untrusted.  The cells it would have recorded simply
-                   re-run. *)
-                stop := true)
-      done)
+  match split_lines contents with
+  | [] -> raise (Error.Error (Error.Journal_io (p ^ ": empty journal file")))
+  | header :: lines ->
+      if header <> magic then
+        raise (Error.Error (Error.Journal_io (p ^ ": not a journal (bad header)")));
+      List.iter
+        (fun (_line, digest) ->
+          if not (Hashtbl.mem t.completed digest) then begin
+            Hashtbl.replace t.completed digest ();
+            Obs.Metrics.inc m_resumed;
+            t.resumed <- t.resumed + 1
+          end)
+        (valid_prefix lines)
 
-let open_ ?(dir = default_dir) ?(resume = true) ~run_id () =
+let open_ ?(fs = Fsio.real) ?(dir = default_dir) ?(resume = true) ~run_id () =
   if run_id = "" then invalid_arg "Exec.Journal.open_: empty run_id";
   String.iter
     (fun c ->
@@ -124,23 +142,14 @@ let open_ ?(dir = default_dir) ?(resume = true) ~run_id () =
                run_id))
     run_id;
   let p = Filename.concat dir (run_id ^ ".journal") in
-  let t = { (disabled ()) with path = Some p } in
+  let t = { (disabled ()) with path = Some p; fs } in
   Error.with_retries ~label:"journal.open" (fun () ->
       try
-        Cache.mkdir_p dir;
-        let existing = Sys.file_exists p in
-        if resume && existing then load_existing t p;
-        let oc =
-          open_out_gen
-            [ Open_wronly; Open_creat; Open_binary;
-              (if resume && existing then Open_append else Open_trunc) ]
-            0o644 p
-        in
-        if not (resume && existing) then begin
-          output_string oc (magic ^ "\n");
-          flush oc
-        end;
-        t.oc <- Some oc;
+        Cache.mkdir_p ~fs dir;
+        let existing = fs.Fsio.file_exists p in
+        if resume && existing then load_existing t p
+        else fs.Fsio.write_file p (magic ^ "\n");
+        t.writable <- true;
         t
       with Sys_error m -> raise (Error.Error (Error.Journal_io m)))
 
@@ -155,22 +164,24 @@ let appended_count t = t.appended
 let skipped_count t = t.skipped
 
 let record t key =
-  match t.oc with
+  match t.path with
   | None -> ()
-  | Some oc ->
-      let digest = Cache.digest_hex key in
-      locked t (fun () ->
-          if not (Hashtbl.mem t.completed digest) then begin
-            let line =
-              Printf.sprintf "%s %s\n" digest (String.escaped (Cache.canonical key))
-            in
-            Error.with_retries ~label:"journal.append" (fun () ->
-                output_string oc line;
-                flush oc);
-            Hashtbl.replace t.completed digest ();
-            Obs.Metrics.inc m_appends;
-            t.appended <- t.appended + 1
-          end)
+  | Some p ->
+      if t.writable then begin
+        let digest = Cache.digest_hex key in
+        locked t (fun () ->
+            if not (Hashtbl.mem t.completed digest) then begin
+              let line =
+                Printf.sprintf "%s %s\n" digest (String.escaped (Cache.canonical key))
+              in
+              Error.with_retries ~label:"journal.append" (fun () ->
+                  try t.fs.Fsio.append_line p line
+                  with Sys_error m -> raise (Error.Error (Error.Journal_io m)));
+              Hashtbl.replace t.completed digest ();
+              Obs.Metrics.inc m_appends;
+              t.appended <- t.appended + 1
+            end)
+      end
 
 let memo t cache key compute =
   let was_completed = completed t key in
@@ -192,13 +203,7 @@ let memo_value t cache key ~encode ~decode compute =
   record t key;
   v
 
-let close t =
-  match t.oc with
-  | None -> ()
-  | Some oc ->
-      t.oc <- None;
-      (try flush oc with Sys_error _ -> ());
-      close_out_noerr oc
+let close t = t.writable <- false
 
 (* pp_stats is called from signal handlers: no locks here, a slightly
    stale counter beats a deadlock. *)

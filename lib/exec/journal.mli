@@ -28,12 +28,15 @@ val default_dir : string
 val disabled : unit -> t
 (** Records nothing, completes nothing; all operations are no-ops. *)
 
-val open_ : ?dir:string -> ?resume:bool -> run_id:string -> unit -> t
+val open_ :
+  ?fs:Fsio.t -> ?dir:string -> ?resume:bool -> run_id:string -> unit -> t
 (** [open_ ~run_id ()] opens (creating directories as needed)
     [dir/<run_id>.journal].  With [resume = true] (default) an existing
     file is loaded — its cells report {!completed} — and appends extend
     it; with [resume = false] an existing file is truncated and the run
-    starts fresh.  [run_id] must match [[A-Za-z0-9._-]+].  Raises
+    starts fresh.  [run_id] must match [[A-Za-z0-9._-]+].  All I/O goes
+    through [fs] (default {!Fsio.real}); each {!record} is one
+    open-append-close, so no file handle outlives a call.  Raises
     {!Error.Error} [(Journal_io _)] if the file cannot be opened or is
     not a journal. *)
 
@@ -80,6 +83,25 @@ val close : t -> unit
 
 val pp_stats : Format.formatter -> t -> unit
 (** Lock-free (safe inside signal handlers). *)
+
+(** {1 Format introspection (for {!Fsck})} *)
+
+val magic : string
+(** The header line a journal file must start with. *)
+
+val parse_line : string -> string option
+(** [parse_line l] is [Some digest_hex] iff [l] is a structurally valid
+    journal line whose digest re-derives from its escaped canonical key;
+    [None] for torn or foreign lines. *)
+
+val split_lines : string -> string list
+(** Split raw file bytes on ['\n']; a final non-terminated chunk (a torn
+    append) is returned as-is and will fail {!parse_line}. *)
+
+val valid_prefix : string list -> (string * string) list
+(** [(line, digest)] for the leading run of individually valid lines;
+    stops at the first invalid one — everything after it is
+    untrusted. *)
 
 (** {1 Termination} *)
 

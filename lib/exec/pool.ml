@@ -1,32 +1,89 @@
-(* A fixed-size pool of worker domains fed by a per-batch atomic task
-   counter.  Determinism does not come from scheduling (tasks are claimed
-   first-come-first-served) but from indexing: task [i] writes only slot
-   [i] of the result array, and the caller reassembles slots in input
-   order.  The mutex/condition handshake that ends a batch establishes the
-   happens-before edge that makes those slot writes visible to the
-   caller. *)
+(* A fixed-size, self-healing pool of worker domains fed by a per-batch
+   atomic task counter.
 
-type job = { run : int -> unit; count : int }
+   Determinism does not come from scheduling (tasks are claimed
+   first-come-first-served) but from indexing: task [i] publishes only
+   slot [i] of the result array, and the caller reassembles slots in
+   input order.  Slot publication is CAS-once ([pub.(i)]: 0 -> 1), so a
+   slot re-enqueued after a worker death and then raced by the
+   not-actually-dead original executor still gets exactly one result.
+   The [Atomic.incr filled] after a winning CAS is the happens-before
+   edge that makes the (nonatomic) slot write visible to whoever later
+   reads [filled = count].
+
+   Supervision model.  OCaml domains cannot be killed from outside, so
+   "supervision" means three things:
+
+   - a worker whose task raises {!Chaos_kill} (the chaos harness's
+     simulated crash) runs a death protocol on the way out: its claimed
+     slot is re-enqueued for survivors, its kill is charged to that
+     slot, and the caller is woken;
+   - the caller itself drains re-enqueued slots (it can always make
+     progress even if every worker is gone), and with [~watchdog_s] it
+     additionally polls worker heartbeats: a worker holding a claim
+     whose heartbeat has not moved within the window is {e condemned} —
+     marked dead for accounting, its slot re-enqueued — and since a
+     wedged domain cannot be interrupted, the domain itself is leaked
+     (never joined) and merely re-checked for a late exit;
+   - a slot whose executions have killed [kill_limit] workers is a
+     {e poison task}: it is quarantined by publishing
+     [Error.Worker_death] as its result instead of re-enqueueing, so a
+     deterministic crasher terminates the batch instead of eating the
+     whole pool.
+
+   Dead workers are replaced between batches (never mid-batch, so a
+   batch's worker array is stable), counted in
+   [pool_worker_restarts_total]. *)
+
+exception Chaos_kill
+
+type batch = {
+  count : int;
+  exec : int -> unit;  (* compute + publish slot i; may raise Chaos_kill *)
+  poison : int -> int -> unit;  (* publish Worker_death for (slot, kills) *)
+  next : int Atomic.t;  (* next unclaimed primary index *)
+  requeued : int Queue.t;  (* slots orphaned by dead workers; under [m] *)
+  kills : int array;  (* worker deaths charged per slot; under [m] *)
+}
 
 type shared = {
   m : Mutex.t;
   ready : Condition.t;  (* a new batch was published (gen bumped) *)
-  finished : Condition.t;  (* a worker drained its share of the batch *)
-  mutable job : job option;
+  finished : Condition.t;  (* batch progress: idle worker, death, requeue *)
+  mutable job : batch option;
   mutable gen : int;  (* batch generation; workers chase it *)
-  mutable busy_workers : int;  (* workers not yet done with current batch *)
   mutable stop : bool;
-  next : int Atomic.t;  (* next unclaimed task index of the batch *)
+  kill_limit : int;
+}
+
+(* One worker incarnation.  Records are immutable per incarnation — a
+   respawn installs a fresh record, so a leaked (condemned, wedged)
+   domain still owns its old record and cannot confuse its successor. *)
+type worker = {
+  mutable domain : unit Domain.t option;
+  alive : bool Atomic.t;  (* false once dead or condemned *)
+  exited : bool Atomic.t;  (* domain body returned; safe to join *)
+  condemned : bool Atomic.t;  (* watchdog verdict; checked between tasks *)
+  heartbeat : int Atomic.t;  (* bumped on every claim and publish *)
+  claim : int Atomic.t;  (* slot being executed, or -1 *)
 }
 
 type t = {
   jobs : int;
+  id : int;
   shared : shared option;  (* None iff jobs = 1 *)
-  mutable domains : unit Domain.t array;
+  mutable workers : worker array;
   mutable alive : bool;
+  mutable restarts : int;  (* workers respawned over the pool's life *)
+  kill_limit : int;
+  watchdog_s : float option;
+  clock : unit -> float;
+  sleep : float -> unit;
 }
 
 let jobs t = t.jobs
+
+let restarts t = t.restarts
 
 (* Pool metrics (docs/OBSERVABILITY.md).  One histogram observation per
    [map] batch — never per task — so instrumentation stays off the
@@ -36,6 +93,10 @@ let m_batches = Obs.Metrics.counter "pool_batches_total"
 let m_tasks = Obs.Metrics.counter "pool_tasks_total"
 
 let m_workers = Obs.Metrics.gauge "pool_workers"
+
+let m_restarts = Obs.Metrics.counter "pool_worker_restarts_total"
+
+let m_requeued = Obs.Metrics.counter "pool_tasks_requeued_total"
 
 let m_map_seconds =
   Obs.Metrics.histogram ~buckets:Obs.Metrics.default_latency_buckets
@@ -49,40 +110,181 @@ let timed_batch ~count f =
   Obs.Metrics.observe m_map_seconds (Obs.Span.now () -. t0);
   r
 
-let drain sh job =
-  let rec go () =
-    let i = Atomic.fetch_and_add sh.next 1 in
-    if i < job.count then begin
-      job.run i;
-      go ()
-    end
-  in
-  go ()
+let live_workers t =
+  Array.fold_left
+    (fun n (w : worker) -> if Atomic.get w.alive then n + 1 else n)
+    0 t.workers
+  + 1 (* the calling domain always participates *)
 
-let rec worker_loop sh seen =
+(* ------------------------------------------------------------------ *)
+(* Batch mechanics *)
+
+(* Claim the next slot: the primary counter first, then (under the lock)
+   a slot orphaned by a dead worker. *)
+let claim sh b =
+  let i = Atomic.fetch_and_add b.next 1 in
+  if i < b.count then Some i
+  else begin
+    Mutex.lock sh.m;
+    let r = if Queue.is_empty b.requeued then None else Some (Queue.pop b.requeued) in
+    Mutex.unlock sh.m;
+    r
+  end
+
+(* Charge a worker death to slot [i]: re-enqueue it for survivors, or —
+   once it has killed [kill_limit] workers — quarantine it as poison by
+   publishing [Worker_death].  Call with [sh.m] held. *)
+let handle_kill (sh : shared) b i =
+  b.kills.(i) <- b.kills.(i) + 1;
+  if b.kills.(i) >= sh.kill_limit then b.poison i b.kills.(i)
+  else begin
+    Queue.push i b.requeued;
+    Obs.Metrics.inc m_requeued
+  end
+
+let poison_message i k =
+  Printf.sprintf "poison task: slot %d killed %d worker(s); quarantined" i k
+
+(* Worker's share of a batch.  Heartbeat bumps bracket every task so the
+   watchdog can tell "slow task, still moving" from "wedged". *)
+let rec drain_worker sh w b =
+  if Atomic.get w.condemned then `Condemned
+  else
+    match claim sh b with
+    | None -> `Done
+    | Some i -> (
+        Atomic.set w.claim i;
+        Atomic.incr w.heartbeat;
+        match b.exec i with
+        | () ->
+            Atomic.set w.claim (-1);
+            Atomic.incr w.heartbeat;
+            drain_worker sh w b
+        | exception _ -> `Died i)
+
+let rec worker_loop sh w seen =
   Mutex.lock sh.m;
-  let rec await () =
+  let rec await seen =
     if sh.stop then None
-    else if sh.gen <> seen then Some (sh.gen, Option.get sh.job)
+    else if sh.gen <> seen then (
+      match sh.job with
+      | Some b -> Some (sh.gen, b)
+      | None -> await sh.gen (* batch came and went while we were idle *))
     else begin
       Condition.wait sh.ready sh.m;
-      await ()
+      await seen
     end
   in
-  match await () with
-  | None -> Mutex.unlock sh.m
-  | Some (gen, job) ->
+  match await seen with
+  | None ->
       Mutex.unlock sh.m;
-      drain sh job;
-      Mutex.lock sh.m;
-      sh.busy_workers <- sh.busy_workers - 1;
-      if sh.busy_workers = 0 then Condition.broadcast sh.finished;
+      Atomic.set w.exited true
+  | Some (gen, b) -> (
       Mutex.unlock sh.m;
-      worker_loop sh gen
+      match drain_worker sh w b with
+      | `Done ->
+          (* Broadcast even when the batch is not finished: the caller
+             may be waiting for requeued work another death produced. *)
+          Mutex.lock sh.m;
+          Condition.broadcast sh.finished;
+          Mutex.unlock sh.m;
+          worker_loop sh w gen
+      | `Condemned ->
+          (* The watchdog already handled our claim; just get out so the
+             corpse can be reaped at the next respawn. *)
+          Atomic.set w.exited true
+      | `Died i ->
+          Atomic.set w.alive false;
+          Mutex.lock sh.m;
+          handle_kill sh b i;
+          Condition.broadcast sh.finished;
+          Mutex.unlock sh.m;
+          Atomic.set w.exited true)
 
-let shutdown t =
+(* ------------------------------------------------------------------ *)
+(* Spawning and supervision *)
+
+let fresh_worker () =
+  {
+    domain = None;
+    alive = Atomic.make true;
+    exited = Atomic.make false;
+    condemned = Atomic.make false;
+    heartbeat = Atomic.make 0;
+    claim = Atomic.make (-1);
+  }
+
+(* Spawning can fail transiently (thread limits, memory pressure).
+   Retry briefly; a worker that still cannot spawn is returned dead
+   (domain = None) — the pool runs width-degraded and retries the
+   respawn before the next batch. *)
+let spawn_worker sh =
+  let w = fresh_worker () in
+  let seen = (Mutex.lock sh.m; let g = sh.gen in Mutex.unlock sh.m; g) in
+  (match
+     Error.with_retries ~label:"pool.spawn" (fun () ->
+         try Domain.spawn (fun () -> worker_loop sh w seen)
+         with e -> raise (Error.Error (Error.Worker_death (Printexc.to_string e))))
+   with
+  | d -> w.domain <- Some d
+  | exception Error.Error (Error.Worker_death _) ->
+      Atomic.set w.alive false;
+      Atomic.set w.exited true);
+  w
+
+(* Replace dead workers (between batches only, so a batch's worker array
+   is stable).  A dead worker whose body returned is joined; a condemned
+   wedge that never exited is leaked — OCaml gives no way to kill it —
+   and its slot gets a fresh incarnation regardless. *)
+let respawn_dead t sh =
+  Array.iteri
+    (fun k (w : worker) ->
+      if not (Atomic.get w.alive) then begin
+        (match w.domain with
+        | Some d when Atomic.get w.exited -> ( try Domain.join d with _ -> ())
+        | Some _ | None -> ());
+        t.workers.(k) <- spawn_worker sh;
+        t.restarts <- t.restarts + 1;
+        Obs.Metrics.inc m_restarts
+      end)
+    t.workers;
+  Obs.Metrics.set m_workers (live_workers t)
+
+(* ------------------------------------------------------------------ *)
+(* Process-exit registry *)
+
+(* One process-wide at_exit hook over a registry of live pools (domains
+   left blocked at process exit would make [exit] hang), instead of one
+   closure pinned per pool forever. *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 8
+
+let registry_m = Mutex.create ()
+
+let next_pool_id = Atomic.make 0
+
+let rec registry_hook = lazy (at_exit shutdown_all)
+
+and shutdown_all () =
+  Mutex.lock registry_m;
+  let pools = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+  Mutex.unlock registry_m;
+  List.iter shutdown pools
+
+and register t =
+  Lazy.force registry_hook;
+  Mutex.lock registry_m;
+  Hashtbl.replace registry t.id t;
+  Mutex.unlock registry_m
+
+and unregister t =
+  Mutex.lock registry_m;
+  Hashtbl.remove registry t.id;
+  Mutex.unlock registry_m
+
+and shutdown t =
   if t.alive then begin
     t.alive <- false;
+    unregister t;
     match t.shared with
     | None -> ()
     | Some sh ->
@@ -90,85 +292,210 @@ let shutdown t =
         sh.stop <- true;
         Condition.broadcast sh.ready;
         Mutex.unlock sh.m;
-        Array.iter Domain.join t.domains;
-        t.domains <- [||]
+        Array.iter
+          (fun w ->
+            match w.domain with
+            | Some d when not (Atomic.get w.condemned) || Atomic.get w.exited
+              -> (
+                try Domain.join d with _ -> ())
+            | Some _ | None -> () (* condemned wedge: leaked *))
+          t.workers;
+        t.workers <- [||]
   end
 
-let create ~jobs =
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let create ?watchdog_s ?(kill_limit = 2) ?(clock = Sys.time)
+    ?(sleep = Error.default_sleep) ~jobs () =
   if jobs < 1 then invalid_arg "Exec.Pool.create: jobs must be >= 1";
-  if jobs = 1 then { jobs; shared = None; domains = [||]; alive = true }
-  else begin
-    let sh =
-      {
-        m = Mutex.create ();
-        ready = Condition.create ();
-        finished = Condition.create ();
-        job = None;
-        gen = 0;
-        busy_workers = 0;
-        stop = false;
-        next = Atomic.make 0;
-      }
-    in
-    let t = { jobs; shared = Some sh; domains = [||]; alive = true } in
-    (* Spawning can fail transiently (thread limits, memory pressure).
-       Retry each worker briefly; a worker that still cannot spawn
-       degrades the pool's width instead of killing the run — [map]
-       counts the workers that actually exist, and the calling domain
-       always participates, so a fully degraded pool is a plain loop. *)
-    let spawned = ref [] in
-    for _ = 1 to jobs - 1 do
-      match
-        Error.with_retries ~label:"pool.spawn" (fun () ->
-            try Domain.spawn (fun () -> worker_loop sh 0)
-            with e ->
-              raise (Error.Error (Error.Worker_death (Printexc.to_string e))))
-      with
-      | d -> spawned := d :: !spawned
-      | exception Error.Error (Error.Worker_death _) -> ()
-    done;
-    t.domains <- Array.of_list !spawned;
-    Obs.Metrics.set m_workers (Array.length t.domains + 1);
-    (* Domains left blocked at process exit would make [exit] hang; make
-       every pool self-collecting. *)
-    at_exit (fun () -> shutdown t);
-    t
-  end
+  if kill_limit < 1 then invalid_arg "Exec.Pool.create: kill_limit must be >= 1";
+  (match watchdog_s with
+  | Some s when s <= 0.0 ->
+      invalid_arg "Exec.Pool.create: watchdog_s must be positive"
+  | _ -> ());
+  let t =
+    {
+      jobs;
+      id = Atomic.fetch_and_add next_pool_id 1;
+      shared =
+        (if jobs = 1 then None
+         else
+           Some
+             {
+               m = Mutex.create ();
+               ready = Condition.create ();
+               finished = Condition.create ();
+               job = None;
+               gen = 0;
+               stop = false;
+               kill_limit;
+             });
+      workers = [||];
+      alive = true;
+      restarts = 0;
+      kill_limit;
+      watchdog_s;
+      clock;
+      sleep;
+    }
+  in
+  (match t.shared with
+  | None -> ()
+  | Some sh ->
+      t.workers <- Array.init (jobs - 1) (fun _ -> spawn_worker sh);
+      Obs.Metrics.set m_workers (live_workers t);
+      register t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* map *)
+
+(* Sequential fallback honoring the same crash semantics as the pooled
+   path: the caller cannot die, so each Chaos_kill counts as one worker
+   kill against the slot, and the kill limit quarantines it — identical
+   results (and identical poison error) to any [jobs] width. *)
+let map_seq t f xs =
+  Array.mapi
+    (fun i x ->
+      let rec attempt k =
+        match f x with
+        | v -> v
+        | exception Chaos_kill ->
+            let k = k + 1 in
+            if k >= t.kill_limit then
+              raise (Error.Error (Error.Worker_death (poison_message i k)))
+            else attempt k
+      in
+      attempt 0)
+    xs
 
 let map t f xs =
+  if not t.alive then invalid_arg "Exec.Pool.map: pool was shut down";
   let n = Array.length xs in
   if n = 0 then [||]
   else
     timed_batch ~count:n @@ fun () ->
     match t.shared with
-    | None -> Array.map f xs
+    | None -> map_seq t f xs
     | Some sh ->
-        if not t.alive then invalid_arg "Exec.Pool.map: pool was shut down";
+        respawn_dead t sh;
         let slots = Array.make n None in
-        let run i =
-          slots.(i) <-
-            Some
-              (try Ok (f xs.(i))
-               with e -> Error (e, Printexc.get_raw_backtrace ()))
+        let pub = Array.init n (fun _ -> Atomic.make 0) in
+        let filled = Atomic.make 0 in
+        let publish i r =
+          if Atomic.compare_and_set pub.(i) 0 1 then begin
+            slots.(i) <- Some r;
+            Atomic.incr filled
+          end
         in
-        let job = { run; count = n } in
+        let exec i =
+          let r =
+            try Ok (f xs.(i))
+            with
+            | Chaos_kill as e -> raise e
+            | e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          publish i r
+        in
+        let poison i k =
+          publish i
+            (Error
+               ( Error.Error (Error.Worker_death (poison_message i k)),
+                 Printexc.get_callstack 0 ))
+        in
+        let b =
+          {
+            count = n;
+            exec;
+            poison;
+            next = Atomic.make 0;
+            requeued = Queue.create ();
+            kills = Array.make n 0;
+          }
+        in
         Mutex.lock sh.m;
         if sh.job <> None then begin
           Mutex.unlock sh.m;
           invalid_arg "Exec.Pool.map: nested or concurrent map on one pool"
         end;
-        Atomic.set sh.next 0;
-        sh.job <- Some job;
+        sh.job <- Some b;
         sh.gen <- sh.gen + 1;
-        sh.busy_workers <- Array.length t.domains;
         Condition.broadcast sh.ready;
         Mutex.unlock sh.m;
-        (* The calling domain is worker number [jobs]. *)
-        drain sh job;
+        (* The calling domain is worker number [jobs]: it drains the
+           primary counter alongside the workers, absorbs its own
+           Chaos_kills (the caller cannot die — each one is charged as a
+           kill and the slot re-enqueued or poisoned), and afterwards
+           supervises: draining orphaned slots and, with a watchdog,
+           condemning wedged workers. *)
+        let rec drain_caller () =
+          match claim sh b with
+          | None -> ()
+          | Some i ->
+              (try b.exec i
+               with Chaos_kill ->
+                 Mutex.lock sh.m;
+                 handle_kill sh b i;
+                 Mutex.unlock sh.m);
+              drain_caller ()
+        in
+        let condemn (w : worker) =
+          Atomic.set w.condemned true;
+          Atomic.set w.alive false;
+          Mutex.lock sh.m;
+          let c = Atomic.get w.claim in
+          if c >= 0 then handle_kill sh b c;
+          Mutex.unlock sh.m
+        in
+        let nw = Array.length t.workers in
+        let last_hb = Array.make nw 0 in
+        let last_move = Array.make nw 0.0 in
+        let watchdog_init () =
+          let now = t.clock () in
+          Array.iteri
+            (fun k w ->
+              last_hb.(k) <- Atomic.get w.heartbeat;
+              last_move.(k) <- now)
+            t.workers
+        in
+        let watchdog_check window =
+          let now = t.clock () in
+          Array.iteri
+            (fun k (w : worker) ->
+              if Atomic.get w.alive && not (Atomic.get w.condemned) then begin
+                let hb = Atomic.get w.heartbeat in
+                if hb <> last_hb.(k) then begin
+                  last_hb.(k) <- hb;
+                  last_move.(k) <- now
+                end
+                else if Atomic.get w.claim >= 0 && now -. last_move.(k) > window
+                then condemn w
+              end)
+            t.workers
+        in
+        (match t.watchdog_s with Some _ -> watchdog_init () | None -> ());
+        let rec supervise () =
+          drain_caller ();
+          if Atomic.get filled < n then begin
+            (match t.watchdog_s with
+            | None ->
+                (* Every progress event (publish-then-idle, death,
+                   requeue) broadcasts [finished] under [sh.m], and the
+                   predicate is rechecked under [sh.m], so no wakeup can
+                   be lost. *)
+                Mutex.lock sh.m;
+                if Atomic.get filled < n && Queue.is_empty b.requeued then
+                  Condition.wait sh.finished sh.m;
+                Mutex.unlock sh.m
+            | Some window ->
+                watchdog_check window;
+                t.sleep (Float.max 1e-3 (window /. 4.)));
+            supervise ()
+          end
+        in
+        supervise ();
         Mutex.lock sh.m;
-        while sh.busy_workers > 0 do
-          Condition.wait sh.finished sh.m
-        done;
         sh.job <- None;
         Mutex.unlock sh.m;
         (* Reassemble in input order; re-raise the lowest-index failure
@@ -185,8 +512,8 @@ let map t f xs =
 
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?watchdog_s ?kill_limit ?clock ?sleep ~jobs f =
+  let t = create ?watchdog_s ?kill_limit ?clock ?sleep ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let default_jobs () =

@@ -1,4 +1,4 @@
-(** Deterministic fixed-size domain worker pool.
+(** Deterministic, self-healing fixed-size domain worker pool.
 
     The execution engine behind every fan-out in the repository: parameter
     sweeps, per-trial exact MaxIS solves, the parallel branch-and-bound
@@ -19,36 +19,100 @@
     Pools hold [jobs - 1] worker domains blocked on a condition variable;
     the calling domain participates in every batch, so [jobs] is the true
     parallel width.  Tasks must not themselves call {!map} on the same pool
-    (that raises [Invalid_argument] rather than deadlocking). *)
+    (that raises [Invalid_argument] rather than deadlocking).
+
+    {2 Supervision}
+
+    The pool survives its own workers.  A worker that dies mid-task (its
+    task raised {!Chaos_kill} — OCaml has no other way to lose a domain
+    short of a runtime crash) runs a death protocol: the slot it was
+    executing is re-enqueued and drained by the surviving workers or by
+    the calling domain, so the batch still completes with results
+    byte-identical to [jobs = 1].  Dead workers are replaced by fresh
+    domains before the next batch ([pool_worker_restarts_total] counts
+    replacements), so the pool heals back to full width.
+
+    A slot whose executions have killed {!create}[ ~kill_limit] workers is
+    a {e poison task}: it is quarantined — its result becomes
+    [Error.Error (Worker_death _)], which {!map} re-raises under the
+    lowest-index rule — instead of being retried forever.  This holds at
+    every width, including [jobs = 1], so a deterministic crasher yields
+    the identical exception regardless of [--jobs].
+
+    With [~watchdog_s] the calling domain additionally polls worker
+    heartbeats between supervision sleeps: a worker holding a task whose
+    heartbeat has not advanced within the window is {e condemned} — its
+    slot re-enqueued exactly as if it had died, the domain (unkillable
+    from outside) leaked and replaced at the next batch.  Without a
+    watchdog a genuinely wedged task blocks its batch forever; enable it
+    wherever tasks are not trusted to terminate. *)
 
 type t
 
-val create : jobs:int -> t
-(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1], else
-    [Invalid_argument]).  The pool is registered for shutdown at process
-    exit, so forgetting {!shutdown} never leaves blocked domains behind.
-    A worker that cannot be spawned (after {!Error.with_retries}-bounded
-    retries) degrades the pool's effective width rather than raising:
-    {!map} still completes, executed by the workers that do exist plus
-    the calling domain, with the same deterministic results. *)
+exception Chaos_kill
+(** Chaos-harness hook: a task raising [Chaos_kill] kills its executing
+    worker domain (simulating a crash) instead of being recorded as an
+    ordinary task failure.  Never raise it outside fault-injection
+    tests. *)
+
+val create :
+  ?watchdog_s:float ->
+  ?kill_limit:int ->
+  ?clock:(unit -> float) ->
+  ?sleep:(float -> unit) ->
+  jobs:int ->
+  unit ->
+  t
+(** [create ~jobs ()] spawns [jobs - 1] supervised worker domains
+    ([jobs >= 1], else [Invalid_argument]).  The pool registers itself in
+    a process-wide exit registry (one [at_exit] hook total), so
+    forgetting {!shutdown} never leaves blocked domains behind.  A worker
+    that cannot be spawned (after {!Error.with_retries}-bounded retries)
+    leaves the pool width-degraded for the current batch — {!map} still
+    completes, executed by the workers that do exist plus the calling
+    domain — and the spawn is retried before each subsequent batch.
+
+    [kill_limit] (default 2) is the number of workers one slot may kill
+    before it is quarantined as a poison task.  [watchdog_s] (default
+    off) enables heartbeat supervision with the given stall window, in
+    seconds of [clock] (default [Sys.time] — process CPU time; drivers
+    that link unix pass [Unix.gettimeofday]); [sleep] (default the
+    process-wide {!Error.default_sleep}) paces the supervision poll. *)
 
 val jobs : t -> int
 (** The parallel width the pool was created with. *)
 
+val live_workers : t -> int
+(** Workers currently believed alive, plus the calling domain: the
+    effective width of the next batch before respawning. *)
+
+val restarts : t -> int
+(** Worker domains respawned over the pool's lifetime (also aggregated
+    process-wide in [pool_worker_restarts_total]). *)
+
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f xs] is [Array.map f xs], computed by up to [jobs pool]
-    domains.  Results are in input order; see the determinism contract
-    above for exceptions.  Raises [Invalid_argument] on a nested or
-    concurrent [map] over the same pool, or after {!shutdown}. *)
+    domains.  Results are in input order; see the determinism and
+    supervision contracts above for exceptions and worker deaths.
+    Raises [Invalid_argument] on a nested or concurrent [map] over the
+    same pool, or (at any width, including 1) after {!shutdown}. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map}; same contract. *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains.  Idempotent; a [jobs = 1] pool is a
-    no-op.  Subsequent {!map} calls with [jobs > 1] raise. *)
+(** Stop and join the worker domains (condemned-but-wedged domains are
+    leaked — they cannot be joined without blocking).  Idempotent; a
+    [jobs = 1] pool is a no-op.  Subsequent {!map} calls raise. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?watchdog_s:float ->
+  ?kill_limit:int ->
+  ?clock:(unit -> float) ->
+  ?sleep:(float -> unit) ->
+  jobs:int ->
+  (t -> 'a) ->
+  'a
 (** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on any
     exit path. *)
 

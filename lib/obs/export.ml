@@ -137,27 +137,18 @@ let table snap =
 
 (* ------------------------------------------------------------------ *)
 
-let rec mkdir_p path =
-  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
-  then begin
-    mkdir_p (Filename.dirname path);
-    try Sys.mkdir path 0o755 with Sys_error _ -> ()
-  end
-
-let write path contents =
-  mkdir_p (Filename.dirname path);
+(* All export I/O goes through Stdx.Fsio so the chaos suite can inject
+   filesystem faults under the atomic-write claim. *)
+let write ?(fs = Stdx.Fsio.real) path contents =
+  Stdx.Fsio.mkdir_p ~fs (Filename.dirname path);
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc contents;
-     close_out oc
+  (try fs.Stdx.Fsio.write_file tmp contents
    with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
+     (try fs.Stdx.Fsio.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  fs.Stdx.Fsio.rename tmp path
 
-let write_jsonl path snap = write path (jsonl snap)
+let write_jsonl ?fs path snap = write ?fs path (jsonl snap)
 
 let spans_csv trees =
   let b = Buffer.create 256 in

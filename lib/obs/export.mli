@@ -18,11 +18,13 @@ val jsonl : Metrics.snapshot -> string
 val prometheus : Metrics.snapshot -> string
 val table : Metrics.snapshot -> string
 
-val write : string -> string -> unit
+val write : ?fs:Stdx.Fsio.t -> string -> string -> unit
 (** [write path contents]: atomic tmp+rename write, creating the parent
-    directory if needed.  Raises [Sys_error] on unwritable targets. *)
+    directory if needed.  Raises [Sys_error] on unwritable targets.
+    [fs] (default [Stdx.Fsio.real]) routes the I/O for fault-injection
+    tests. *)
 
-val write_jsonl : string -> Metrics.snapshot -> unit
+val write_jsonl : ?fs:Stdx.Fsio.t -> string -> Metrics.snapshot -> unit
 (** [write (jsonl snap)] — the [--metrics] exporter of [maxis_lb]. *)
 
 val spans_csv : Span.tree list -> string

@@ -1,0 +1,246 @@
+(* The operation record is deliberately whole-file / whole-line grained:
+   channels held open across calls would smuggle unfaultable state past
+   the injector, and every consumer in the repository (cache entries,
+   journal lines, CSV/JSONL exports) is naturally all-or-nothing at that
+   grain anyway. *)
+
+type t = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  append_line : string -> string -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  mkdir : string -> unit;
+  rmdir : string -> unit;
+  file_exists : string -> bool;
+  is_directory : string -> bool;
+  readdir : string -> string array;
+}
+
+let real_read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let real_write_file path contents =
+  let oc = open_out_bin path in
+  match output_string oc contents with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      raise e
+
+let real_append_line path chunk =
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path
+  in
+  match output_string oc chunk with
+  | () -> close_out oc (* close_out flushes *)
+  | exception e ->
+      close_out_noerr oc;
+      raise e
+
+let real =
+  {
+    read_file = real_read_file;
+    write_file = real_write_file;
+    append_line = real_append_line;
+    rename = Sys.rename;
+    remove = Sys.remove;
+    mkdir = (fun path -> Sys.mkdir path 0o755);
+    rmdir = Sys.rmdir;
+    file_exists = Sys.file_exists;
+    is_directory = Sys.is_directory;
+    readdir = Sys.readdir;
+  }
+
+let rec mkdir_p ?(fs = real) path =
+  if path <> "" && path <> "." && path <> "/" && not (fs.file_exists path)
+  then begin
+    mkdir_p ~fs (Filename.dirname path);
+    try fs.mkdir path
+    with Sys_error _ -> () (* lost a race with a concurrent mkdir: fine *)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans *)
+
+type op_fault = {
+  eintr : float;
+  enospc : float;
+  torn : float;
+  flip : float;
+  fail_rename : float;
+}
+
+let no_fault = { eintr = 0.0; enospc = 0.0; torn = 0.0; flip = 0.0; fail_rename = 0.0 }
+
+let check_prob name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Fsio.op_fault: %s=%g not a probability" name p)
+
+let op_fault ?(eintr = 0.0) ?(enospc = 0.0) ?(torn = 0.0) ?(flip = 0.0)
+    ?(fail_rename = 0.0) () =
+  check_prob "eintr" eintr;
+  check_prob "enospc" enospc;
+  check_prob "torn" torn;
+  check_prob "flip" flip;
+  check_prob "fail_rename" fail_rename;
+  { eintr; enospc; torn; flip; fail_rename }
+
+type plan = {
+  seed : int;
+  default : op_fault;
+  overrides : (string * op_fault) list;
+}
+
+let plan ?(default = no_fault) ?(overrides = []) seed = { seed; default; overrides }
+
+let pp_op_fault ppf f =
+  Format.fprintf ppf "eintr=%.3f enospc=%.3f torn=%.3f flip=%.3f rename=%.3f"
+    f.eintr f.enospc f.torn f.flip f.fail_rename
+
+let pp_plan ppf p =
+  Format.fprintf ppf "fsio plan seed=%d default={%a}%s" p.seed pp_op_fault
+    p.default
+    (String.concat ""
+       (List.map
+          (fun (prefix, f) -> Format.asprintf " %s={%a}" prefix pp_op_fault f)
+          p.overrides))
+
+(* ------------------------------------------------------------------ *)
+(* Injection *)
+
+(* Counter indices, fixed so [faults_injected] is deterministically
+   ordered. *)
+let kinds = [| "eintr"; "enospc"; "torn"; "flip"; "rename" |]
+
+type injector = {
+  plan : plan;
+  prng : Prng.t;
+  counts : int array;  (* indexed like [kinds] *)
+  mu : Mutex.t;
+}
+
+let injector plan = { plan; prng = Prng.create plan.seed; counts = Array.make 5 0; mu = Mutex.create () }
+
+let faults_injected inj =
+  Mutex.lock inj.mu;
+  let pairs =
+    Array.to_list (Array.mapi (fun i k -> (k, inj.counts.(i))) kinds)
+  in
+  Mutex.unlock inj.mu;
+  List.filter (fun (_, c) -> c > 0) pairs
+
+let total_injected inj =
+  Mutex.lock inj.mu;
+  let n = Array.fold_left ( + ) 0 inj.counts in
+  Mutex.unlock inj.mu;
+  n
+
+let fault_for inj path =
+  let rec pick = function
+    | [] -> inj.plan.default
+    | (prefix, f) :: rest ->
+        if String.starts_with ~prefix path then f else pick rest
+  in
+  pick inj.plan.overrides
+
+(* All stream consumption happens under the mutex so concurrent callers
+   cannot tear the splitmix state; [decide] returns everything an
+   operation needs (fired kind + the prefix-length draw for partial
+   writes) in one critical section. *)
+let kind_index = function
+  | "eintr" -> 0
+  | "enospc" -> 1
+  | "torn" -> 2
+  | "flip" -> 3
+  | "rename" -> 4
+  | _ -> assert false
+
+let draw inj ~path ~kinds:applicable ~len on_fault =
+  Mutex.lock inj.mu;
+  let f = fault_for inj path in
+  let prob = function
+    | "eintr" -> f.eintr
+    | "enospc" -> f.enospc
+    | "torn" -> f.torn
+    | "flip" -> f.flip
+    | "rename" -> f.fail_rename
+    | _ -> assert false
+  in
+  (* One draw per applicable kind, in listed order, whether or not an
+     earlier kind already fired: the stream position then depends only
+     on the operation sequence, not on which faults happened to fire. *)
+  let fired =
+    List.filter_map
+      (fun k ->
+        let p = prob k in
+        let hit = p > 0.0 && Prng.float inj.prng 1.0 < p in
+        if hit then Some k else None)
+      applicable
+  in
+  let first = match fired with [] -> None | k :: _ -> Some k in
+  (* Auxiliary draws are consumed unconditionally for the same reason. *)
+  let cut = if len > 0 then Prng.int inj.prng len else 0 in
+  let bit = if len > 0 then Prng.int inj.prng (len * 8) else 0 in
+  (match first with
+  | None -> ()
+  | Some k -> inj.counts.(kind_index k) <- inj.counts.(kind_index k) + 1);
+  Mutex.unlock inj.mu;
+  (match first with None -> () | Some k -> on_fault k);
+  (first, cut, bit)
+
+let injected_error path what =
+  Sys_error (Printf.sprintf "%s: %s (injected)" path what)
+
+let flip_bit s bit =
+  let b = Bytes.of_string s in
+  let i = bit / 8 and j = bit mod 8 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl j)));
+  Bytes.to_string b
+
+let faulty ?(on_fault = fun _ -> ()) inj =
+  let read_file path =
+    let s = real.read_file path in
+    match draw inj ~path ~kinds:[ "eintr"; "flip" ] ~len:(String.length s) on_fault with
+    | Some "eintr", _, _ -> raise (injected_error path "Interrupted system call")
+    | Some "flip", _, bit when String.length s > 0 -> flip_bit s bit
+    | _ -> s
+  in
+  let write_like real_write path contents =
+    let len = String.length contents in
+    match draw inj ~path ~kinds:[ "eintr"; "enospc"; "torn" ] ~len on_fault with
+    | Some "eintr", _, _ -> raise (injected_error path "Interrupted system call")
+    | Some "enospc", cut, _ ->
+        (try real_write path (String.sub contents 0 cut) with Sys_error _ -> ());
+        raise (injected_error path "No space left on device")
+    | Some "torn", cut, _ ->
+        (* The lying write: a prefix lands on disk, success is reported. *)
+        real_write path (String.sub contents 0 cut)
+    | _ -> real_write path contents
+  in
+  let rename src dst =
+    match draw inj ~path:src ~kinds:[ "eintr"; "rename" ] ~len:0 on_fault with
+    | Some "eintr", _, _ -> raise (injected_error src "Interrupted system call")
+    | Some "rename", _, _ -> raise (injected_error src "rename failed")
+    | _ -> real.rename src dst
+  in
+  let eintr_only real_op path =
+    match draw inj ~path ~kinds:[ "eintr" ] ~len:0 on_fault with
+    | Some "eintr", _, _ -> raise (injected_error path "Interrupted system call")
+    | _ -> real_op path
+  in
+  {
+    read_file;
+    write_file = write_like real.write_file;
+    append_line = write_like real.append_line;
+    rename;
+    remove = eintr_only real.remove;
+    mkdir = eintr_only real.mkdir;
+    rmdir = real.rmdir;
+    file_exists = real.file_exists;
+    is_directory = real.is_directory;
+    readdir = real.readdir;
+  }

@@ -78,33 +78,40 @@ let to_csv t =
   List.iter emit (List.rev t.rows);
   Buffer.contents buf
 
+(* Uniquifies temp names across processes publishing into one directory
+   (no unix dependency, so no getpid: hash per-process state two racing
+   processes will not share). *)
+let tmp_token =
+  lazy
+    (Hashtbl.hash (Sys.executable_name, Sys.time (), Random.State.make_self_init ())
+    land 0xFFFFFF)
+
+let tmp_seq = Atomic.make 0
+
 (* Atomic publish: a crash, kill or reader racing the writer must never
    observe a half-written CSV, so write to a unique temp file in the same
    directory (rename is only atomic within a filesystem) and rename over
-   the target. *)
-let write_csv t path =
+   the target.  All I/O goes through [fs] so the chaos suite can inject
+   filesystem faults under the atomicity claim. *)
+let write_csv ?(fs = Fsio.real) t path =
   let dir = Filename.dirname path in
-  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if dir <> "." && not (fs.Fsio.file_exists dir) then fs.Fsio.mkdir dir;
   let tmp =
-    Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp"
+    Printf.sprintf "%s.%06x-%d.tmp" path (Lazy.force tmp_token)
+      (Atomic.fetch_and_add tmp_seq 1)
   in
-  match
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (to_csv t))
-  with
-  | () -> Sys.rename tmp path
+  match fs.Fsio.write_file tmp (to_csv t) with
+  | () -> fs.Fsio.rename tmp path
   | exception e ->
-      (try Sys.remove tmp with Sys_error _ -> ());
+      (try fs.Fsio.remove tmp with Sys_error _ -> ());
       raise e
 
-let print ?title ?csv t =
+let print ?title ?csv ?fs t =
   (match title with
   | Some s -> Printf.printf "\n== %s ==\n" s
   | None -> ());
   print_string (render t);
-  match csv with None -> () | Some path -> write_csv t path
+  match csv with None -> () | Some path -> write_csv ?fs t path
 
 let cell_int = string_of_int
 let cell_float ?(decimals = 3) f = Printf.sprintf "%.*f" decimals f

@@ -24,13 +24,14 @@ val to_csv : t -> string
 (** RFC-4180-style CSV: header row then data rows; cells containing
     commas, quotes or newlines are quoted. *)
 
-val write_csv : t -> string -> unit
+val write_csv : ?fs:Fsio.t -> t -> string -> unit
 (** [write_csv tbl path] writes {!to_csv} to a file, creating the parent
     directory if needed (one level).  The write is atomic — temp file in
     the target directory, then rename — so a crashed or killed run never
-    leaves a truncated CSV behind. *)
+    leaves a truncated CSV behind.  [fs] (default {!Fsio.real}) routes
+    the I/O, so the chaos suite can fault-inject under the claim. *)
 
-val print : ?title:string -> ?csv:string -> t -> unit
+val print : ?title:string -> ?csv:string -> ?fs:Fsio.t -> t -> unit
 (** [print ~title tbl] writes the table to stdout, preceded by
     ["== title =="] when a title is given.  With [~csv:path] the table is
     also saved as CSV (the machine-readable twin of every experiment

@@ -91,7 +91,7 @@ let test_pool_nested_map_rejected () =
       check "every nested map raises" true (Array.for_all Fun.id nested_rejected))
 
 let test_pool_shutdown () =
-  let pool = Pool.create ~jobs:3 in
+  let pool = Pool.create ~jobs:3 () in
   check_int "jobs" 3 (Pool.jobs pool);
   Alcotest.(check (array int)) "usable" [| 1; 2 |] (Pool.map pool succ [| 0; 1 |]);
   Pool.shutdown pool;
@@ -101,16 +101,20 @@ let test_pool_shutdown () =
       ignore (Pool.map pool succ [| 0 |]))
 
 let test_pool_jobs_one_spawns_nothing () =
-  (* A width-1 pool is a plain loop: map works even after shutdown
-     because there is nothing to shut down. *)
-  let pool = Pool.create ~jobs:1 in
+  (* A width-1 pool is a plain loop, but the lifecycle contract is the
+     same at every width: using a pool after shutdown is a bug and
+     raises, even though there was nothing to shut down. *)
+  let pool = Pool.create ~jobs:1 () in
+  Alcotest.(check (array int)) "a loop" [| 5 |] (Pool.map pool succ [| 4 |]);
   Pool.shutdown pool;
-  Alcotest.(check (array int)) "still a loop" [| 5 |] (Pool.map pool succ [| 4 |])
+  Alcotest.check_raises "map after shutdown raises at jobs=1 too"
+    (Invalid_argument "Exec.Pool.map: pool was shut down") (fun () ->
+      ignore (Pool.map pool succ [| 4 |]))
 
 let test_pool_create_rejects_bad_width () =
   Alcotest.check_raises "jobs=0"
     (Invalid_argument "Exec.Pool.create: jobs must be >= 1") (fun () ->
-      ignore (Pool.create ~jobs:0))
+      ignore (Pool.create ~jobs:0 ()))
 
 let test_pool_default_jobs_env () =
   let set v = Unix.putenv "MAXIS_JOBS" v in
@@ -261,6 +265,59 @@ let test_cache_parallel_memo () =
   check "all agree" true (Array.for_all (fun r -> r = "1000") results);
   Cache.clear c;
   check "clear removes dir" true (not (Sys.file_exists tmp_dir))
+
+let test_cache_shard_mkdir_race () =
+  (* Two writers racing to create the same shard directory: the loser's
+     mkdir hits EEXIST, which must be swallowed, and neither store may
+     be lost. *)
+  let dir = "exec_cache_race_test" in
+  let c0 = Cache.create ~dir () in
+  Cache.clear c0;
+  (* Distinct keys sharing a shard (first two digest hex chars), so
+     both writers contend on one mkdir. *)
+  let key_for seed = Cache.key ~family:"race" ~params:"p" ~seed ~solver:"s" () in
+  let k0 = key_for 0 in
+  let shard k = String.sub (Cache.digest_hex k) 0 2 in
+  let k1 =
+    let rec find seed =
+      let k = key_for seed in
+      if shard k = shard k0 then k else find (seed + 1)
+    in
+    find 1
+  in
+  (* Each "process" gets its own cache handle on the shared directory;
+     a spin barrier lines the two mkdir+store sequences up. *)
+  let barrier = Atomic.make 0 in
+  let store k v () =
+    let c = Cache.create ~dir () in
+    Atomic.incr barrier;
+    while Atomic.get barrier < 2 do
+      Domain.cpu_relax ()
+    done;
+    Cache.store c k v
+  in
+  let d0 = Domain.spawn (store k0 "left") in
+  let d1 = Domain.spawn (store k1 "right") in
+  Domain.join d0;
+  Domain.join d1;
+  check "no lost store (left)" true (Cache.find c0 k0 = Some "left");
+  check "no lost store (right)" true (Cache.find c0 k1 = Some "right");
+  (* The exact interleaving, forced: the directory appears between the
+     existence check and the mkdir, so mkdir itself reports EEXIST.
+     mkdir_p must swallow it and the directory must exist. *)
+  let racing_fs =
+    {
+      Stdx.Fsio.real with
+      Stdx.Fsio.mkdir =
+        (fun path ->
+          Stdx.Fsio.real.Stdx.Fsio.mkdir path;
+          raise (Sys_error (path ^ ": File exists")));
+    }
+  in
+  let lost = Filename.concat dir "zz" in
+  Cache.mkdir_p ~fs:racing_fs lost;
+  check "raced mkdir_p still creates" true (Sys.is_directory lost);
+  Cache.clear c0
 
 (* ------------------------------------------------------------------ *)
 (* Parallel exact solver *)
@@ -724,6 +781,8 @@ let () =
           Alcotest.test_case "memo_value" `Quick test_cache_memo_value;
           Alcotest.test_case "disabled cache" `Quick test_cache_disabled;
           Alcotest.test_case "parallel memo" `Quick test_cache_parallel_memo;
+          Alcotest.test_case "shard mkdir race" `Quick
+            test_cache_shard_mkdir_race;
         ] );
       ( "solve_par",
         [
