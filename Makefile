@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-par verify examples soak faults chaos fsck figures kill-resume cache-clean journal-clean clean
+.PHONY: all build test bench bench-par verify examples soak faults chaos fsck figures kill-resume serve bench-serve serve-smoke cache-clean journal-clean clean
 
 all: build
 
@@ -57,6 +57,23 @@ figures:
 # CSVs against an uninterrupted reference (docs/RESILIENCE.md).
 kill-resume:
 	bash scripts/kill_resume.sh
+
+# Run the solve daemon on the default sockets (docs/SERVING.md);
+# Ctrl-C drains gracefully.
+serve:
+	dune exec bin/maxis_lb.exe -- serve \
+	  --listen unix:results/serve.sock \
+	  --metrics-listen unix:results/serve-metrics.sock --jobs 4
+
+# Daemon capability table + multi-client load generator (in-process;
+# appends a trajectory entry to BENCH_serve.json).
+bench-serve:
+	dune exec bench/main.exe -- SERVE
+
+# End-to-end smoke: real daemon process -> load over the wire ->
+# Prometheus scrape -> SIGTERM drain (also the CI serve job).
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Drop cached exact-MIS results; the next run recomputes and repopulates.
 cache-clean:

@@ -19,6 +19,7 @@ let experiments =
     ("PERF", "Bechamel timing benches", Exp_perf.run);
     ("OBS", "metrics + span profile of one pipeline cell", Exp_obs.run);
     ("CHAOS", "supervised execution under combined fault plans", Exp_chaos.run);
+    ("SERVE", "solve daemon: capabilities + multi-client load", Exp_serve.run);
   ]
 
 (* Subsets of the umbrella ids, so `-- T2-gap` etc. also work. *)

@@ -6,7 +6,9 @@
      bounds    print the Theorem 1/2 round bounds at given parameters
      figure    emit a paper figure's gadget as DOT
      simulate  run the Theorem-5 CONGEST simulation on an instance
-     sweep     sweep t and print the closing gap ratio *)
+     sweep     sweep t and print the closing gap ratio
+     solve     solve one instance, printing the serve daemon's payload line
+     serve     run the batched, budgeted, cache-backed solve daemon *)
 
 open Cmdliner
 module P = Maxis_core.Params
@@ -625,6 +627,182 @@ let sweep_cmd =
       $ resume_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* solve — the offline twin of the serve daemon's "solve" op.  Both
+   funnel through Serve.Ops.solve, which is what makes the byte-parity
+   contract (docs/SERVING.md) checkable: same instance, same budget,
+   same payload bytes, socket or not. *)
+
+let solve_cmd =
+  let run alpha ell players seed intersecting quadratic no_cache budget_nodes
+      metrics =
+    with_metrics ~cmd:"solve" metrics @@ fun () ->
+    with_io_guard @@ fun () ->
+    let cache = make_cache ~no_cache in
+    let budget = make_budget ~nodes:budget_nodes ~seconds:None in
+    let outcome =
+      Serve.Ops.solve ~cache ~budget
+        {
+          Serve.Proto.alpha;
+          ell;
+          players;
+          seed;
+          intersecting;
+          quadratic;
+          budget_nodes;
+        }
+    in
+    print_endline outcome.Serve.Ops.payload;
+    if outcome.Serve.Ops.exhausted then 3 else 0
+  in
+  Cmd.v
+    (Cmd.info "solve" ~exits
+       ~doc:
+         "Solve one gadget instance exactly (optionally budgeted) and \
+          print the payload line the serve daemon would return for the \
+          same request: $(b,OPT <w>), or $(b,EXHAUSTED lb=.. ub=..) with \
+          exit code 3 when the budget ran out.")
+    Term.(
+      const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg
+      $ intersecting_arg $ quadratic_arg $ no_cache_arg $ budget_nodes_arg
+      $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let addr_conv =
+  let parse s =
+    match Serve.Proto.addr_of_string s with
+    | Ok a -> Ok a
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Serve.Proto.pp_addr)
+
+let serve_cmd =
+  let run listen metrics_addr jobs no_cache max_inflight default_nodes
+      max_nodes max_line_bytes batch_max allow_chaos =
+    with_io_guard @@ fun () ->
+    if jobs < 1 then begin
+      Format.eprintf "maxis_lb: --jobs must be >= 1 (got %d)@." jobs;
+      exit 124
+    end;
+    (* Unix sockets need their parent directory; make it like the cache
+       does its own. *)
+    let prep = function
+      | Serve.Proto.Unix_sock path ->
+          let dir = Filename.dirname path in
+          if dir <> "." && dir <> "/" then Exec.Cache.mkdir_p dir
+      | Serve.Proto.Tcp _ -> ()
+    in
+    prep listen;
+    Option.iter prep metrics_addr;
+    let cache = make_cache ~no_cache in
+    let cfg =
+      {
+        (Serve.Daemon.default_config ~cache ~listen ()) with
+        Serve.Daemon.metrics = metrics_addr;
+        jobs;
+        max_inflight;
+        default_budget_nodes = default_nodes;
+        max_budget_nodes = max_nodes;
+        max_line_bytes;
+        batch_max;
+        allow_chaos;
+      }
+    in
+    let d = Serve.Daemon.create cfg in
+    let stop_on _signal = Serve.Daemon.stop d in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on);
+    Format.eprintf "serve: listening on %a (jobs=%d, window=%d)@."
+      Serve.Proto.pp_addr listen jobs max_inflight;
+    (match metrics_addr with
+    | Some a -> Format.eprintf "serve: metrics on %a@." Serve.Proto.pp_addr a
+    | None -> ());
+    Serve.Daemon.run d;
+    if Exec.Cache.enabled cache then
+      Format.eprintf "cache: %a@." Exec.Cache.pp_stats (Exec.Cache.stats cache);
+    Format.eprintf "serve: drained after %d replies@."
+      (Serve.Daemon.requests_served d);
+    0
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt addr_conv (Serve.Proto.Unix_sock "results/serve.sock")
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Wire address: $(b,unix:PATH) or $(b,tcp:HOST:PORT) (default \
+             unix:results/serve.sock).")
+  in
+  let metrics_listen_arg =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "metrics-listen" ] ~docv:"ADDR"
+          ~doc:
+            "Also serve the Prometheus rendering of the live metrics \
+             registry to anything that connects here.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission window: compute requests admitted but unanswered, \
+             across all connections; beyond it requests get structured \
+             $(b,rejected) replies.")
+  in
+  let default_nodes_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "default-budget-nodes" ] ~docv:"N"
+          ~doc:"Node cap attached to requests that do not name one.")
+  in
+  let max_nodes_arg =
+    Arg.(
+      value & opt int 4_000_000
+      & info [ "max-budget-nodes" ] ~docv:"N"
+          ~doc:"Ceiling a request may ask for; above it: rejected.")
+  in
+  let max_line_bytes_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-line-bytes" ] ~docv:"N"
+          ~doc:
+            "Longer request lines are answered with an error and skipped; \
+             the connection survives.")
+  in
+  let batch_max_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Most requests one pool batch may carry.")
+  in
+  let allow_chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-chaos" ]
+          ~doc:
+            "Honor $(b,chaos-kill) requests (kill a pool worker \
+             mid-batch).  For the chaos suite only.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Run the solve daemon: newline-delimited JSON requests \
+          ($(b,solve), $(b,bounds), $(b,claim-verify), $(b,ping), \
+          $(b,stats)) over a Unix or TCP socket, each admitted under a \
+          node budget, batched across a worker pool, answered from the \
+          result cache when warm.  SIGINT/SIGTERM drain gracefully: \
+          every in-flight request gets its terminal reply, then the \
+          process exits 0.")
+    Term.(
+      const run $ listen_arg $ metrics_listen_arg $ jobs_arg $ no_cache_arg
+      $ max_inflight_arg $ default_nodes_arg $ max_nodes_arg
+      $ max_line_bytes_arg $ batch_max_arg $ allow_chaos_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fsck *)
 
 let fsck_cmd =
@@ -684,5 +862,7 @@ let () =
             simulate_cmd;
             export_cmd;
             sweep_cmd;
+            solve_cmd;
+            serve_cmd;
             fsck_cmd;
           ]))

@@ -1,0 +1,90 @@
+type t = {
+  max_inflight : int;
+  default_nodes : int;
+  max_nodes : int;
+  clock : unit -> float;
+  mutable inflight : int;
+  mu : Mutex.t;
+}
+
+(* Registration is cheap and idempotent (handles are interned), but keep
+   the hot decision path to plain atomic bumps. *)
+let admitted_total = Obs.Metrics.counter "admission_admitted_total"
+
+let rejected_capacity =
+  Obs.Metrics.counter
+    ~labels:[ ("reason", "capacity") ]
+    "admission_rejected_total"
+
+let rejected_budget =
+  Obs.Metrics.counter ~labels:[ ("reason", "budget") ] "admission_rejected_total"
+
+let inflight_gauge = Obs.Metrics.gauge "admission_inflight"
+
+let create ?(max_inflight = 64) ?(default_nodes = 1_000_000)
+    ?(max_nodes = 4_000_000) ?(clock = Sys.time) () =
+  if max_inflight < 1 then
+    invalid_arg "Exec.Admission.create: max_inflight must be >= 1";
+  if default_nodes < 1 then
+    invalid_arg "Exec.Admission.create: default_nodes must be >= 1";
+  if max_nodes < 1 then
+    invalid_arg "Exec.Admission.create: max_nodes must be >= 1";
+  { max_inflight; default_nodes; max_nodes; clock; inflight = 0; mu = Mutex.create () }
+
+type rejection =
+  | Over_capacity of { inflight : int; limit : int }
+  | Over_budget of { requested : int; limit : int }
+
+let rejection_to_string = function
+  | Over_capacity { inflight; limit } ->
+      Printf.sprintf "over capacity: inflight=%d limit=%d" inflight limit
+  | Over_budget { requested; limit } ->
+      Printf.sprintf "budget too large: requested=%d nodes, limit=%d" requested
+        limit
+
+let admit ?requested_nodes ?deadline_s t =
+  match requested_nodes with
+  | Some r when r > t.max_nodes ->
+      Obs.Metrics.inc rejected_budget;
+      Error (Over_budget { requested = r; limit = t.max_nodes })
+  | _ ->
+      let nodes = Option.value requested_nodes ~default:t.default_nodes in
+      Mutex.lock t.mu;
+      let verdict =
+        if t.inflight >= t.max_inflight then
+          Error (Over_capacity { inflight = t.inflight; limit = t.max_inflight })
+        else begin
+          t.inflight <- t.inflight + 1;
+          Ok ()
+        end
+      in
+      let now_inflight = t.inflight in
+      Mutex.unlock t.mu;
+      (match verdict with
+      | Ok () ->
+          Obs.Metrics.inc admitted_total;
+          Obs.Metrics.set inflight_gauge now_inflight
+      | Error _ -> Obs.Metrics.inc rejected_capacity);
+      Result.map
+        (fun () ->
+          Budget.create ~max_nodes:nodes ?deadline_s ~clock:t.clock ())
+        verdict
+
+let release t =
+  Mutex.lock t.mu;
+  let bad = t.inflight <= 0 in
+  if not bad then t.inflight <- t.inflight - 1;
+  let now = t.inflight in
+  Mutex.unlock t.mu;
+  if bad then invalid_arg "Exec.Admission.release: no slot outstanding";
+  Obs.Metrics.set inflight_gauge now
+
+let inflight t =
+  Mutex.lock t.mu;
+  let v = t.inflight in
+  Mutex.unlock t.mu;
+  v
+
+let max_inflight t = t.max_inflight
+let default_nodes t = t.default_nodes
+let max_nodes t = t.max_nodes

@@ -1,0 +1,67 @@
+(** Admission control for request-driven execution.
+
+    A long-running service must bound two things before it lets a request
+    reach the solver stack: the {b concurrency} it has accepted but not
+    yet answered (the in-flight window — beyond it, requests are refused
+    with a structured rejection, never queued unboundedly or left to
+    hang), and the {b work} any single request may demand (every admitted
+    request gets an {!Budget.t} whose node cap is clamped to a server-side
+    ceiling, so a hostile or clumsy client cannot wedge a worker).
+
+    The controller is deliberately tiny and lock-protected rather than
+    lock-free: admission happens once per request, not once per solver
+    node.  It is shared by the serve daemon's dispatcher, but carries no
+    socket types — anything that admits work units can use it.
+
+    Metrics ([admission_admitted_total], [admission_rejected_total]
+    {%html:<code>{reason}</code>%}, [admission_inflight] gauge) are
+    bumped on every decision. *)
+
+type t
+
+val create :
+  ?max_inflight:int ->
+  ?default_nodes:int ->
+  ?max_nodes:int ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
+(** [create ()] — [max_inflight] (default 64) caps admitted-but-
+    unanswered requests; [default_nodes] (default 1_000_000) is the node
+    cap attached to requests that do not ask for one; [max_nodes]
+    (default 4_000_000) is the ceiling a request may ask for — above it
+    the request is rejected, not silently clamped, so clients learn the
+    capacity contract.  [clock] (default [Sys.time]) seeds deadline
+    budgets when {!admit} is given [~deadline_s].  Raises
+    [Invalid_argument] on non-positive caps. *)
+
+type rejection =
+  | Over_capacity of { inflight : int; limit : int }
+      (** the in-flight window is full — retry later *)
+  | Over_budget of { requested : int; limit : int }
+      (** the request asked for more nodes than the server ceiling *)
+
+val rejection_to_string : rejection -> string
+
+val admit :
+  ?requested_nodes:int -> ?deadline_s:float -> t -> (Budget.t, rejection) result
+(** Try to take one in-flight slot.  [Ok budget] transfers ownership of
+    the slot to the caller, who must {!release} it exactly once when the
+    request has been answered (any terminal reply — success, error, or
+    exhaustion — counts).  The budget's node cap is [requested_nodes]
+    when given (rejected if above the ceiling), else [default_nodes];
+    [deadline_s] adds a best-effort clock deadline. *)
+
+val release : t -> unit
+(** Return one slot.  Raises [Invalid_argument] if called with no slot
+    outstanding — a double release is an accounting bug, not a runtime
+    condition to tolerate. *)
+
+val inflight : t -> int
+(** Slots currently out. *)
+
+val max_inflight : t -> int
+
+val default_nodes : t -> int
+
+val max_nodes : t -> int

@@ -2,6 +2,7 @@ type kind =
   | Cache_io of string
   | Journal_io of string
   | Worker_death of string
+  | Net_io of string
   | Io of string
 
 exception Error of kind
@@ -10,6 +11,7 @@ let to_string = function
   | Cache_io m -> "cache I/O: " ^ m
   | Journal_io m -> "journal I/O: " ^ m
   | Worker_death m -> "worker domain: " ^ m
+  | Net_io m -> "network I/O: " ^ m
   | Io m -> "I/O: " ^ m
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
@@ -19,7 +21,7 @@ let pp ppf e = Format.pp_print_string ppf (to_string e)
    errors, assertion failures, user interrupts — must escape
    immediately. *)
 let transient = function
-  | Error (Cache_io _ | Journal_io _ | Io _ | Worker_death _) -> true
+  | Error (Cache_io _ | Journal_io _ | Io _ | Worker_death _ | Net_io _) -> true
   | Sys_error _ -> true
   | End_of_file -> true
   | _ -> false

@@ -15,6 +15,9 @@ type kind =
   | Worker_death of string
       (** a pool worker domain died, could not be spawned, or a poison
           task was quarantined after killing its executors *)
+  | Net_io of string
+      (** a socket operation failed (accept/connect/read/write on the
+          serving layer's wire or scrape sockets) *)
   | Io of string  (** other I/O (CSV writes, figure exports) *)
 
 exception Error of kind

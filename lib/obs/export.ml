@@ -1,18 +1,7 @@
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* One escaper for the whole repository: the serving layer parses what
+   we print, so both sides share Stdx.Jsonx's idea of a legal JSON
+   string (byte-identical to the escaper that used to live here). *)
+let json_escape = Stdx.Jsonx.escape
 
 (* Counters and gauges hold integers; render them without a fraction so
    the export is grep-friendly ("value":3, not 3.).  Histogram sums can

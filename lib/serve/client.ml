@@ -1,0 +1,96 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  mutable closed : bool;
+}
+
+let net_io fmt = Printf.ksprintf (fun m -> Exec.Error.Error (Exec.Error.Net_io m)) fmt
+
+let connect ?(retries = 5) addr =
+  let dial () =
+    let domain =
+      match addr with
+      | Proto.Unix_sock _ -> Unix.PF_UNIX
+      | Proto.Tcp _ -> Unix.PF_INET
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Proto.sockaddr addr);
+      fd
+    with Unix.Unix_error (e, fn, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise
+        (net_io "connect %s: %s: %s"
+           (Format.asprintf "%a" Proto.pp_addr addr)
+           fn (Unix.error_message e))
+  in
+  let fd =
+    Exec.Error.with_retries ~attempts:retries ~label:"serve-connect" dial
+  in
+  { fd; ic = Unix.in_channel_of_descr fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* closing the channel closes the underlying fd *)
+    try close_in t.ic with Sys_error _ -> ()
+  end
+
+let write_line t line =
+  if t.closed then raise (net_io "connection closed");
+  let data = line ^ "\n" in
+  let n = String.length data in
+  let off = ref 0 in
+  try
+    while !off < n do
+      match Unix.write_substring t.fd data !off (n - !off) with
+      | w -> off := !off + w
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  with Unix.Unix_error (e, fn, _) ->
+    raise (net_io "send: %s: %s" fn (Unix.error_message e))
+
+let send t req = write_line t (Proto.encode_request req)
+
+let send_raw t line = write_line t line
+
+let recv_raw t =
+  if t.closed then raise (net_io "connection closed");
+  match input_line t.ic with
+  | line -> line
+  | exception End_of_file -> raise (net_io "connection closed by server")
+  | exception Sys_error m -> raise (net_io "recv: %s" m)
+
+let recv t =
+  let line = recv_raw t in
+  match Proto.decode_reply line with
+  | Ok r -> r
+  | Error e -> raise (net_io "undecodable reply (%s): %s" e line)
+
+let request t req =
+  send t req;
+  recv t
+
+let scrape addr =
+  let c = connect addr in
+  Fun.protect
+    ~finally:(fun () -> close c)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf c.ic 1
+         done
+       with End_of_file -> ());
+      let all = Buffer.contents buf in
+      (* strip the HTTP header block; tolerate a bare body too *)
+      let sep = "\r\n\r\n" in
+      let limit = String.length all - String.length sep in
+      let rec find i =
+        if i > limit then None
+        else if String.sub all i (String.length sep) = sep then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some i -> String.sub all (i + 4) (String.length all - i - 4)
+      | None -> all)

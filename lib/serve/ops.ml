@@ -1,0 +1,91 @@
+module P = Maxis_core.Params
+module LF = Maxis_core.Linear_family
+module QF = Maxis_core.Quadratic_family
+module Family = Maxis_core.Family
+
+type solve_outcome = { payload : string; exhausted : bool }
+
+let solve ~cache ~budget (sp : Proto.solve_params) =
+  let p = P.make ~alpha:sp.Proto.alpha ~ell:sp.Proto.ell ~players:sp.Proto.players in
+  let quadratic = sp.Proto.quadratic in
+  let seed = sp.Proto.seed in
+  let intersecting = sp.Proto.intersecting in
+  (* The input fingerprint is part of the key, so the input must be
+     generated even on a warm hit; the graph is only built on a miss. *)
+  let rng = Stdx.Prng.create seed in
+  let x =
+    if quadratic then
+      Commcx.Inputs.gen_promise rng ~k:(QF.string_length p) ~t:p.P.players
+        ~intersecting
+    else Commcx.Inputs.gen_promise rng ~k:(P.k p) ~t:p.P.players ~intersecting
+  in
+  let key =
+    Exec.Cache.key
+      ~family:(if quadratic then "serve-solve-quadratic" else "serve-solve-linear")
+      ~params:(Format.asprintf "%a" P.pp p)
+      ~seed
+      ~solver:"exact-budgeted"
+      ~extra:
+        (Exec.Cache.fingerprint (Commcx.Inputs.canonical x)
+        ^ Exec.Budget.fingerprint budget)
+      ()
+  in
+  let payload =
+    Exec.Cache.memo cache key (fun () ->
+        let inst =
+          if quadratic then QF.instance p x else LF.instance p x
+        in
+        match Mis.Exact.solve_budgeted ~budget inst.Family.graph with
+        | Mis.Exact.Complete s -> Printf.sprintf "OPT %d" s.Mis.Exact.weight
+        | Mis.Exact.Exhausted e ->
+            Printf.sprintf "EXHAUSTED lb=%d ub=%d reason=%s" e.Mis.Exact.lb
+              e.Mis.Exact.ub
+              (Exec.Budget.reason_to_string e.Mis.Exact.reason))
+  in
+  let exhausted = String.length payload >= 9 && String.sub payload 0 9 = "EXHAUSTED" in
+  { payload; exhausted }
+
+(* Same keys as the CLI's bounds subcommand, so the daemon and an
+   offline `maxis_lb bounds` run warm each other's caches and always
+   agree byte-for-byte. *)
+let bounds ~cache ~alpha ~ell ~players =
+  let p = P.make ~alpha ~ell ~players in
+  let report (solver, theorem) =
+    let key =
+      Exec.Cache.key ~family:"bounds"
+        ~params:(Format.asprintf "%a" P.pp p)
+        ~seed:0 ~solver ()
+    in
+    Exec.Cache.memo cache key (fun () ->
+        Format.asprintf "%a" Maxis_core.Theorems.pp (theorem p))
+  in
+  String.concat "\n"
+    (List.map report
+       [
+         ("theorem1-linear", Maxis_core.Theorems.linear);
+         ("theorem2-quadratic", Maxis_core.Theorems.quadratic);
+       ])
+
+type verify_outcome = { v_payload : string; exit_code : int }
+
+let claim_verify ~cache ~budget (vp : Proto.verify_params) =
+  let p =
+    P.make ~alpha:vp.Proto.v_alpha ~ell:vp.Proto.v_ell ~players:vp.Proto.v_players
+  in
+  let items =
+    Maxis_core.Verification.run ~seed:vp.Proto.v_seed ~samples:vp.Proto.v_samples
+      ~cache ~budget p
+  in
+  let lines =
+    List.map (Format.asprintf "%a" Maxis_core.Verification.pp_item) items
+  in
+  let count pred = List.length (List.filter pred items) in
+  let exit_code = Maxis_core.Verification.exit_code items in
+  let summary =
+    Printf.sprintf "checks=%d passed=%d failed=%d inconclusive=%d"
+      (List.length items)
+      (count Maxis_core.Verification.passed)
+      (count Maxis_core.Verification.failed)
+      (count Maxis_core.Verification.inconclusive)
+  in
+  { v_payload = String.concat "\n" (lines @ [ summary ]); exit_code }

@@ -1,0 +1,47 @@
+(** Op implementations shared by the serve daemon and the offline CLI.
+
+    The serving layer's parity contract — a [solve] reply's payload is
+    byte-identical to the offline [maxis_lb solve] answer for the same
+    instance and budget, cold or warm cache, at any [--jobs] width —
+    holds because both callers funnel through these functions: one
+    payload formatter, one cache key, one (sequential, budgeted) solver
+    entry point per request.  Parallelism comes from batching many
+    requests across an [Exec.Pool], never from splitting one request, so
+    a payload can never depend on the pool width.
+
+    Every function here is pure in its parameters modulo the cache
+    (which is a transparent accelerator), safe to run inside a pool
+    task, and must {e not} touch any [Exec.Pool] itself (pool maps do
+    not nest). *)
+
+type solve_outcome = {
+  payload : string;
+      (** ["OPT <w>"], or ["EXHAUSTED lb=<l> ub=<u> reason=<r>"] when the
+          budget ran out — exactly the offline CLI's stdout line *)
+  exhausted : bool;
+}
+
+val solve :
+  cache:Exec.Cache.t -> budget:Exec.Budget.t -> Proto.solve_params -> solve_outcome
+(** Build the requested gadget instance (linear or quadratic family,
+    seeded promise input) and solve it under [budget] with the
+    {e sequential} budgeted solver.  The payload string is what gets
+    cached, keyed by family, parameters, seed, the input fingerprint and
+    the budget fingerprint — so budgeted and unbudgeted answers never
+    collide, and a warm hit returns the identical bytes. *)
+
+val bounds :
+  cache:Exec.Cache.t -> alpha:int -> ell:int -> players:int -> string
+(** The Theorem 1/2 round-bound reports at the given parameters, joined
+    by a newline — the same report strings (and the same cache keys) as
+    [maxis_lb bounds]. *)
+
+type verify_outcome = {
+  v_payload : string;  (** one audit-item line per check + a summary line *)
+  exit_code : int;  (** the CLI contract: 0 passed, 2 failed, 3 inconclusive *)
+}
+
+val claim_verify :
+  cache:Exec.Cache.t -> budget:Exec.Budget.t -> Proto.verify_params -> verify_outcome
+(** Run the full [Verification.run] audit (sequentially — no pool) at
+    the requested parameters under [budget]. *)

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the solve daemon (docs/SERVING.md): start a
+# real `maxis_lb serve` process, aim the SERVE bench's capability +
+# load legs at it over the wire (MAXIS_SERVE_SOCKET external mode),
+# require every capability verdict to pass and serve_requests_total to
+# be visible on the Prometheus scrape, then SIGTERM the daemon and
+# require a clean drain: exit code 0 and the socket files unlinked.
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+dune build bin/maxis_lb.exe bench/main.exe
+CLI="$ROOT/_build/default/bin/maxis_lb.exe"
+BENCH="$ROOT/_build/default/bench/main.exe"
+
+WORK=$(mktemp -d)
+SOCK="$WORK/wire.sock"
+MSOCK="$WORK/metrics.sock"
+cleanup() {
+  if [ -n "${daemon_pid:-}" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -KILL "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+echo "workdir: $WORK"
+
+# --- Start the daemon --------------------------------------------------
+# cwd = workdir so its default cache (results/cache) stays in the temp
+# tree; 64 KiB line cap so the bench's oversized-line capability row is
+# exercised against this daemon too (the bench assumes this cap).
+(cd "$WORK" && exec "$CLI" serve \
+  --listen "unix:$SOCK" --metrics-listen "unix:$MSOCK" \
+  --jobs 2 --max-line-bytes 65536 \
+  2>"$WORK/daemon.err") &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { cat "$WORK/daemon.err"; exit 1; }
+  sleep 0.1
+done
+test -S "$SOCK" || { echo "daemon never bound $SOCK"; exit 1; }
+echo "daemon: pid=$daemon_pid listening on $SOCK"
+
+# --- Drive it: SERVE bench in external mode ----------------------------
+(cd "$WORK" && \
+  MAXIS_SERVE_SOCKET="unix:$SOCK" MAXIS_SERVE_METRICS_SOCKET="unix:$MSOCK" \
+  "$BENCH" SERVE >bench.out 2>bench.err)
+cat "$WORK/bench.out"
+
+if grep -q 'FAIL' "$WORK/bench.out"; then
+  echo "smoke: a capability or verdict row did not pass"
+  exit 1
+fi
+grep -q 'scrape shows serve_requests_total' "$WORK/bench.out"
+
+# --- Drain: SIGTERM must exit 0 and unlink the sockets -----------------
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+echo "daemon exit status: $status"
+grep -i 'drained' "$WORK/daemon.err" || true
+test "$status" -eq 0 || { echo "FAIL: drain exited $status"; cat "$WORK/daemon.err"; exit 1; }
+test ! -e "$SOCK" || { echo "FAIL: wire socket not unlinked"; exit 1; }
+test ! -e "$MSOCK" || { echo "FAIL: metrics socket not unlinked"; exit 1; }
+
+echo "serve smoke: OK"

@@ -743,6 +743,74 @@ let test_retry_exhaustion_reraises_last () =
     && Exec.Error.transient End_of_file
     && not (Exec.Error.transient Exit))
 
+let test_net_io_transient () =
+  (* Net_io is in the transient class, so socket hiccups flow through
+     the same bounded-retry policy as cache/journal I/O. *)
+  let e = Exec.Error.Error (Exec.Error.Net_io "ECONNREFUSED") in
+  check "transient" true (Exec.Error.transient e);
+  check "message" true
+    (Exec.Error.to_string (Exec.Error.Net_io "x") = "network I/O: x");
+  let tries = ref 0 in
+  let v =
+    Exec.Error.with_retries ~sleep:ignore ~label:"net-test" (fun () ->
+        incr tries;
+        if !tries < 2 then raise e else "connected")
+  in
+  check_string "retried to success" "connected" v
+
+(* ------------------------------------------------------------------ *)
+(* Cache under concurrent readers/writers + injected filesystem faults *)
+
+let test_cache_concurrent_faulty_same_key () =
+  (* Many domains hammering one key through a fault-injecting
+     filesystem: torn writes, bit flips, failed renames and ENOSPC must
+     surface as misses (recompute) — never as wrong bytes, an
+     exception, or a hang. *)
+  let dir = "exec_cache_faulty_conc_test" in
+  let injector =
+    Exec.Fsio.injector
+      (Exec.Fsio.plan
+         ~default:
+           (Exec.Fsio.op_fault ~eintr:0.08 ~enospc:0.06 ~torn:0.06 ~flip:0.05
+              ~fail_rename:0.06 ())
+         23)
+  in
+  let c = Cache.create ~fs:(Exec.Fsio.chaos injector) ~dir () in
+  let k = some_key () in
+  let results =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Pool.map pool
+          (fun _ -> Cache.memo c k (fun () -> "payload-42"))
+          (Array.init 64 Fun.id))
+  in
+  check "one key, right bytes under faults" true
+    (Array.for_all (fun r -> r = "payload-42") results);
+  (* Interleaved writers on a small key set: every memo returns its own
+     key's payload, concurrent stores to the same entry included. *)
+  let key_of i =
+    Cache.key ~family:"conc" ~params:(string_of_int (i mod 8)) ~seed:0
+      ~solver:"s" ()
+  in
+  let results2 =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Pool.map pool
+          (fun i -> Cache.memo c (key_of i) (fun () -> "v" ^ string_of_int (i mod 8)))
+          (Array.init 64 Fun.id))
+  in
+  Array.iteri
+    (fun i r ->
+      if r <> "v" ^ string_of_int (i mod 8) then
+        Alcotest.failf "wrong payload %S for slot %d" r i)
+    results2;
+  (* Whatever the faults left on disk, a clean handle still serves the
+     same bytes (corrupt survivors are misses and recompute). *)
+  let clean = Cache.create ~dir () in
+  check_string "clean handle agrees" "payload-42"
+    (Cache.memo clean k (fun () -> "payload-42"));
+  check "faults were actually injected" true
+    (Exec.Fsio.total_injected injector > 0);
+  Cache.clear clean
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -783,6 +851,8 @@ let () =
           Alcotest.test_case "parallel memo" `Quick test_cache_parallel_memo;
           Alcotest.test_case "shard mkdir race" `Quick
             test_cache_shard_mkdir_race;
+          Alcotest.test_case "concurrent memo under fs faults" `Quick
+            test_cache_concurrent_faulty_same_key;
         ] );
       ( "solve_par",
         [
@@ -828,5 +898,6 @@ let () =
             test_retry_nontransient_escapes_immediately;
           Alcotest.test_case "exhaustion reraises" `Quick
             test_retry_exhaustion_reraises_last;
+          Alcotest.test_case "Net_io is transient" `Quick test_net_io_transient;
         ] );
     ]

@@ -392,6 +392,110 @@ let test_dynvec_fold_iter () =
   Stdx.Dynvec.clear v;
   check_int "cleared" 0 (Stdx.Dynvec.length v)
 
+(* ------------------------------------------------------------------ *)
+(* Jsonx: the one JSON codec shared by Obs.Export and the serve wire
+   protocol *)
+
+module J = Stdx.Jsonx
+
+let check_string = Alcotest.(check string)
+
+let parse_ok s =
+  match J.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let test_jsonx_roundtrip () =
+  let samples =
+    [
+      J.Null;
+      J.Bool true;
+      J.Int (-42);
+      J.Float 1.5;
+      J.Str "plain";
+      J.Str "esc \"quotes\" \\ back\nnew\ttab\rret";
+      J.Str "ctrl \x01\x1f end";
+      J.Arr [];
+      J.Obj [];
+      J.Arr [ J.Int 1; J.Str "two"; J.Null; J.Bool false ];
+      J.Obj
+        [
+          ("a", J.Int 1);
+          ("nested", J.Obj [ ("b", J.Arr [ J.Float 0.25 ]) ]);
+          ("empty key", J.Str "");
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = J.to_string j in
+      check (Printf.sprintf "roundtrip %s" s) true (parse_ok s = j))
+    samples
+
+let test_jsonx_escape_matches_obs () =
+  (* The shared escaper must keep producing exactly the bytes
+     Obs.Export always wrote (golden JSONL files depend on them). *)
+  check_string "quote" "\\\"" (J.escape "\"");
+  check_string "backslash" "\\\\" (J.escape "\\");
+  check_string "newline" "\\n" (J.escape "\n");
+  check_string "tab" "\\t" (J.escape "\t");
+  check_string "return" "\\r" (J.escape "\r");
+  check_string "low ctrl" "\\u0001" (J.escape "\x01");
+  check_string "passthrough" "abc {}" (J.escape "abc {}")
+
+let test_jsonx_parse_accepts () =
+  check "ws" true (parse_ok "  { \"a\" : [ 1 , 2 ] }  " = J.Obj [ ("a", J.Arr [ J.Int 1; J.Int 2 ]) ]);
+  check "neg exp" true (parse_ok "-1.5e2" = J.Float (-150.0));
+  check "int" true (parse_ok "123" = J.Int 123);
+  check "escapes" true (parse_ok {|"A\n\/"|} = J.Str "A\n/");
+  (* surrogate pair -> UTF-8 *)
+  check "surrogates" true (parse_ok {|"😀"|} = J.Str "\xf0\x9f\x98\x80");
+  check "dup keys keep first" true
+    (J.mem_int "a" (parse_ok {|{"a":1,"a":2}|}) = Some 1
+    || J.mem_int "a" (parse_ok {|{"a":1,"a":2}|}) = Some 2)
+
+let test_jsonx_parse_rejects () =
+  let bad s =
+    match J.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parsed: %S" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "tru";
+  bad "1 2";
+  (* trailing bytes *)
+  bad "nullx";
+  bad "\"bad \\q escape\"";
+  (* deeper than max_depth *)
+  bad (String.make 200 '[' ^ String.make 200 ']')
+
+let test_jsonx_accessors () =
+  let j = parse_ok {|{"s":"x","i":7,"b":true,"f":2.5,"n":null}|} in
+  check "mem_str" true (J.mem_str "s" j = Some "x");
+  check "mem_int" true (J.mem_int "i" j = Some 7);
+  check "mem_bool" true (J.mem_bool "b" j = Some true);
+  check "to_float of int" true
+    (Option.bind (J.member "i" j) J.to_float = Some 7.0);
+  check "missing" true (J.member "zz" j = None);
+  check "wrong type" true (J.mem_int "s" j = None)
+
+let test_jsonx_float_fidelity () =
+  (* Floats survive print -> parse exactly; non-finite encode as null. *)
+  List.iter
+    (fun f ->
+      match parse_ok (J.to_string (J.Float f)) with
+      | J.Float g -> check (string_of_float f) true (g = f)
+      | J.Int g -> check (string_of_float f) true (float_of_int g = f)
+      | _ -> Alcotest.fail "not a number")
+    [ 0.25; -1.0e-7; 3.141592653589793; 1e300; 0.1 ];
+  check_string "nan is null" "null" (J.to_string (J.Float Float.nan));
+  check_string "inf is null" "null" (J.to_string (J.Float Float.infinity))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -463,5 +567,15 @@ let () =
         [
           Alcotest.test_case "push/get" `Quick test_dynvec_push_get;
           Alcotest.test_case "fold/iter" `Quick test_dynvec_fold_iter;
+        ] );
+      ( "jsonx",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "escape = Obs.Export bytes" `Quick
+            test_jsonx_escape_matches_obs;
+          Alcotest.test_case "parse accepts" `Quick test_jsonx_parse_accepts;
+          Alcotest.test_case "parse rejects" `Quick test_jsonx_parse_rejects;
+          Alcotest.test_case "accessors" `Quick test_jsonx_accessors;
+          Alcotest.test_case "float fidelity" `Quick test_jsonx_float_fidelity;
         ] );
     ]
