@@ -8,14 +8,10 @@ let net_io fmt = Printf.ksprintf (fun m -> Exec.Error.Error (Exec.Error.Net_io m
 
 let connect ?(retries = 5) addr =
   let dial () =
-    let domain =
-      match addr with
-      | Proto.Unix_sock _ -> Unix.PF_UNIX
-      | Proto.Tcp _ -> Unix.PF_INET
-    in
-    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    let sa = Proto.sockaddr addr in
+    let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
     try
-      Unix.connect fd (Proto.sockaddr addr);
+      Unix.connect fd sa;
       fd
     with Unix.Unix_error (e, fn, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());

@@ -101,15 +101,13 @@ let listen_on addr =
       | Unix.S_SOCK -> (try Unix.unlink path with Unix.Unix_error _ -> ())
       | _ -> raise (net_io "socket path %s exists and is not a socket" path))
   | _ -> ());
-  let domain =
-    match addr with Proto.Unix_sock _ -> Unix.PF_UNIX | Proto.Tcp _ -> Unix.PF_INET
-  in
-  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let sa = Proto.sockaddr addr in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
   try
     (match addr with
     | Proto.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
     | Proto.Unix_sock _ -> ());
-    Unix.bind fd (Proto.sockaddr addr);
+    Unix.bind fd sa;
     Unix.listen fd 64;
     Unix.set_nonblock fd;
     fd
@@ -441,35 +439,49 @@ let accept_wire d =
   go ()
 
 (* One scrape = one connection: accept, write the Prometheus rendering
-   of the live registry as a minimal HTTP response, close.  Blocking
-   writes are fine here — the response is bounded and the peer asked for
-   it. *)
+   of the live registry as a minimal HTTP response, close.  The scrape
+   shares the single event-loop thread, so writes are nonblocking under
+   a short deadline: a scraper that connects and never reads gets
+   dropped instead of stalling request serving. *)
+let scrape_write_deadline_s = 1.0
+
 let serve_scrape fd =
   match Unix.accept fd with
   | client, _ ->
       Obs.Metrics.inc m_scrapes;
       let body = Obs.Export.prometheus (Obs.Metrics.snapshot ()) in
-      let head =
+      let data =
         Printf.sprintf
           "HTTP/1.0 200 OK\r\n\
            Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
            Content-Length: %d\r\n\
            Connection: close\r\n\
-           \r\n"
-          (String.length body)
-      in
-      let send s =
-        let n = String.length s in
-        let off = ref 0 in
-        while !off < n do
-          match Unix.write_substring client s !off (n - !off) with
-          | w -> off := !off + w
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        done
+           \r\n\
+           %s"
+          (String.length body) body
       in
       (try
-         send head;
-         send body
+         Unix.set_nonblock client;
+         let n = String.length data in
+         let deadline = Unix.gettimeofday () +. scrape_write_deadline_s in
+         let off = ref 0 in
+         let stalled = ref false in
+         while !off < n && not !stalled do
+           match Unix.write_substring client data !off (n - !off) with
+           | w -> off := !off + w
+           | exception
+               Unix.Unix_error
+                 ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> (
+               let left = deadline -. Unix.gettimeofday () in
+               if left <= 0.0 then begin
+                 stalled := true;
+                 Obs.Metrics.inc m_io_errors
+               end
+               else
+                 match Unix.select [] [ client ] [] (Float.min left 0.05) with
+                 | _ -> ()
+                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+         done
        with Unix.Unix_error _ -> Obs.Metrics.inc m_io_errors);
       close_fd client
   | exception Unix.Unix_error _ -> ()

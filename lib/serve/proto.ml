@@ -32,7 +32,10 @@ let sockaddr = function
       let ip =
         try Unix.inet_addr_of_string host
         with Failure _ -> (
-          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          (* First stream address of any family, so IPv6 literals and
+             IPv6-only hosts resolve too; callers derive the socket
+             domain from the returned sockaddr. *)
+          match Unix.getaddrinfo host "" [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
           | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
           | _ -> raise (Exec.Error.Error (Exec.Error.Net_io ("cannot resolve " ^ host))))
       in

@@ -193,33 +193,43 @@ let parse s =
   in
   let number () =
     let start = !pos in
-    let consume p =
-      while !pos < n && p s.[!pos] do
+    let digits () =
+      let d0 = !pos in
+      while
+        !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
+      do
         advance ()
-      done
+      done;
+      !pos - d0
     in
     if peek () = Some '-' then advance ();
-    consume (function '0' .. '9' -> true | _ -> false);
+    if digits () = 0 then bad "bad number";
     let is_float = ref false in
     if peek () = Some '.' then begin
       is_float := true;
       advance ();
-      consume (function '0' .. '9' -> true | _ -> false)
+      if digits () = 0 then bad "no digits after '.' in number"
     end;
     (match peek () with
     | Some ('e' | 'E') ->
         is_float := true;
         advance ();
         (match peek () with Some ('+' | '-') -> advance () | _ -> ());
-        consume (function '0' .. '9' -> true | _ -> false)
+        if digits () = 0 then bad "no digits in exponent"
     | _ -> ());
     let lexeme = String.sub s start (!pos - start) in
-    if lexeme = "" || lexeme = "-" then bad "bad number";
-    if !is_float then Float (float_of_string lexeme)
+    if !is_float then
+      match float_of_string_opt lexeme with
+      | Some f -> Float f
+      | None -> bad "bad number"
     else
       match int_of_string_opt lexeme with
       | Some i -> Int i
-      | None -> Float (float_of_string lexeme)
+      | None -> (
+          (* out of int range; keep the value as a float *)
+          match float_of_string_opt lexeme with
+          | Some f -> Float f
+          | None -> bad "bad number")
   in
   let rec value depth =
     if depth > max_depth then bad "nesting too deep";
@@ -292,6 +302,10 @@ let parse s =
   | v -> Ok v
   | exception Bad (off, msg) ->
       Error (Printf.sprintf "%s at byte %d" msg off)
+  (* Safety net for the never-raises contract: the daemon parses
+     attacker-controlled bytes on its event loop, so no stdlib
+     conversion failure may escape as an exception. *)
+  | exception Failure msg -> Error (Printf.sprintf "bad document: %s" msg)
 
 (* ------------------------------------------------------------------ *)
 (* Accessors *)

@@ -34,8 +34,13 @@ val escape : string -> string
 val to_string : t -> string
 (** Compact rendering: no whitespace, object fields in their list
     order.  [Int] renders with no fraction; [Float] via ["%.17g"]
-    trimmed to the shortest round-tripping form ([nan]/[inf] render as
-    [null] — JSON has no spelling for them). *)
+    trimmed to the shortest round-tripping form.
+
+    Non-finite floats: [nan] and [±inf] render as [null] — JSON has no
+    spelling for them — so [to_string] followed by {!parse} does {e not}
+    round-trip such values: a non-finite [Float] silently comes back as
+    [Null].  Callers that must preserve non-finite values have to encode
+    them out-of-band (e.g. as strings) before serializing. *)
 
 (** {1 Decoding} *)
 

@@ -153,6 +153,28 @@ let test_malformed_line_survives () =
       check_string "still serving" "ok" (Proto.reply_status r);
       Client.close c)
 
+let test_malformed_number_survives () =
+  (* A bad number lexeme used to escape Jsonx.parse as
+     Failure "float_of_string" and crash the event loop; it must be a
+     structured error reply on a surviving connection. *)
+  with_daemon (fun addr _d ->
+      let c = Client.connect addr in
+      List.iter
+        (fun raw ->
+          Client.send_raw c raw;
+          let r = Client.recv c in
+          check_string (Printf.sprintf "%s -> error" raw) "error"
+            (Proto.reply_status r))
+        [
+          {|{"op":"ping","x":1e}|};
+          {|{"op":"ping","x":1E+}|};
+          {|{"op":"ping","x":-.}|};
+          {|{"op":"solve","seed":2e-}|};
+        ];
+      let r = Client.request c (Proto.ping ()) in
+      check_string "still serving" "ok" (Proto.reply_status r);
+      Client.close c)
+
 let test_oversized_line_survives () =
   with_daemon
     ~configure:(fun cfg -> { cfg with Daemon.max_line_bytes = 256 })
@@ -362,6 +384,8 @@ let () =
           Alcotest.test_case "basic ops" `Quick test_daemon_basic_ops;
           Alcotest.test_case "malformed line survives" `Quick
             test_malformed_line_survives;
+          Alcotest.test_case "malformed number survives" `Quick
+            test_malformed_number_survives;
           Alcotest.test_case "oversized line survives" `Quick
             test_oversized_line_survives;
           Alcotest.test_case "budget rejection" `Quick test_budget_rejection;

@@ -446,6 +446,8 @@ let test_jsonx_escape_matches_obs () =
 let test_jsonx_parse_accepts () =
   check "ws" true (parse_ok "  { \"a\" : [ 1 , 2 ] }  " = J.Obj [ ("a", J.Arr [ J.Int 1; J.Int 2 ]) ]);
   check "neg exp" true (parse_ok "-1.5e2" = J.Float (-150.0));
+  check "unsigned exp" true (parse_ok "2E3" = J.Float 2000.0);
+  check "frac exp" true (parse_ok "0.5e-1" = J.Float 0.05);
   check "int" true (parse_ok "123" = J.Int 123);
   check "escapes" true (parse_ok {|"A\n\/"|} = J.Str "A\n/");
   (* surrogate pair -> UTF-8 *)
@@ -471,6 +473,16 @@ let test_jsonx_parse_rejects () =
   (* trailing bytes *)
   bad "nullx";
   bad "\"bad \\q escape\"";
+  (* malformed number lexemes must come back as Error, never raise
+     (float_of_string on "1e" would throw Failure) *)
+  bad "1e";
+  bad "1E+";
+  bad "-.";
+  bad "-";
+  bad "1.";
+  bad ".5";
+  bad "2e-";
+  bad "{\"op\":\"ping\",\"x\":1e}";
   (* deeper than max_depth *)
   bad (String.make 200 '[' ^ String.make 200 ']')
 
