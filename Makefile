@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-par verify examples soak faults chaos fsck figures kill-resume serve bench-serve serve-smoke cache-clean journal-clean clean
+.PHONY: all build test bench bench-par verify examples soak faults chaos netchaos fsck figures kill-resume serve bench-serve bench-netchaos serve-smoke cache-clean journal-clean clean
 
 all: build
 
@@ -45,6 +45,12 @@ chaos:
 	dune exec test/test_chaos.exe
 	dune exec bench/main.exe -- CHAOS
 
+# Network chaos: socket fault injection, connection-lifecycle and
+# balancer-failover suite + the seeded bench leg (docs/SERVING.md).
+netchaos:
+	dune exec test/test_netchaos.exe
+	dune exec bench/main.exe -- NETCHAOS
+
 # Offline integrity scan of the result cache and sweep journals;
 # quarantines invalid entries (exit 2 when damage was found).
 fsck:
@@ -69,6 +75,11 @@ serve:
 # appends a trajectory entry to BENCH_serve.json).
 bench-serve:
 	dune exec bench/main.exe -- SERVE
+
+# Serving layer under seeded network chaos (in-process; writes
+# results/netchaos_verdicts.csv and appends to BENCH_netchaos.json).
+bench-netchaos:
+	dune exec bench/main.exe -- NETCHAOS
 
 # End-to-end smoke: real daemon process -> load over the wire ->
 # Prometheus scrape -> SIGTERM drain (also the CI serve job).

@@ -20,6 +20,7 @@ let experiments =
     ("OBS", "metrics + span profile of one pipeline cell", Exp_obs.run);
     ("CHAOS", "supervised execution under combined fault plans", Exp_chaos.run);
     ("SERVE", "solve daemon: capabilities + multi-client load", Exp_serve.run);
+    ("NETCHAOS", "serving layer under network chaos", Exp_netchaos.run);
   ]
 
 (* Subsets of the umbrella ids, so `-- T2-gap` etc. also work. *)

@@ -679,10 +679,15 @@ let addr_conv =
 
 let serve_cmd =
   let run listen metrics_addr jobs no_cache max_inflight default_nodes
-      max_nodes max_line_bytes batch_max allow_chaos =
+      max_nodes max_line_bytes batch_max allow_chaos max_conns idle_timeout
+      read_deadline write_deadline drain_deadline =
     with_io_guard @@ fun () ->
     if jobs < 1 then begin
       Format.eprintf "maxis_lb: --jobs must be >= 1 (got %d)@." jobs;
+      exit 124
+    end;
+    if max_conns < 1 then begin
+      Format.eprintf "maxis_lb: --max-conns must be >= 1 (got %d)@." max_conns;
       exit 124
     end;
     (* Unix sockets need their parent directory; make it like the cache
@@ -707,6 +712,11 @@ let serve_cmd =
         max_line_bytes;
         batch_max;
         allow_chaos;
+        max_conns;
+        idle_timeout_s = idle_timeout;
+        read_deadline_s = read_deadline;
+        write_deadline_s = write_deadline;
+        drain_deadline_s = drain_deadline;
       }
     in
     let d = Serve.Daemon.create cfg in
@@ -787,6 +797,46 @@ let serve_cmd =
             "Honor $(b,chaos-kill) requests (kill a pool worker \
              mid-batch).  For the chaos suite only.")
   in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Connection cap; accepts beyond it are shed with a structured \
+             error reply and counted as $(b,capacity) evictions.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Evict a connection with no traffic and nothing owed either \
+             way for this long.")
+  in
+  let read_deadline_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "read-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Evict a connection holding a partial request line that makes \
+             no progress for this long (the slow-loris bound).")
+  in
+  let write_deadline_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "write-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Evict a connection whose pending replies make no progress for \
+             this long; also bounds metrics-scrape responses.")
+  in
+  let drain_deadline_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Grace period for flushing replies during shutdown drain; \
+             peers still holding bytes at the deadline are dropped.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits
        ~doc:
@@ -800,7 +850,9 @@ let serve_cmd =
     Term.(
       const run $ listen_arg $ metrics_listen_arg $ jobs_arg $ no_cache_arg
       $ max_inflight_arg $ default_nodes_arg $ max_nodes_arg
-      $ max_line_bytes_arg $ batch_max_arg $ allow_chaos_arg)
+      $ max_line_bytes_arg $ batch_max_arg $ allow_chaos_arg $ max_conns_arg
+      $ idle_timeout_arg $ read_deadline_arg $ write_deadline_arg
+      $ drain_deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fsck *)

@@ -26,7 +26,8 @@ let transient = function
   | End_of_file -> true
   | _ -> false
 
-(* The exec library carries no unix dependency, so the fallback backoff
+(* The exec library makes no direct unix calls (unix only arrives
+   transitively, via stdx), so the fallback backoff
    sleep is a clock spin.  It only ever runs on the rare retry path and
    for a bounded total (attempts are capped); drivers that do link unix
    install [Unix.sleepf] once via [set_default_sleep] so the backoff

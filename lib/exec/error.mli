@@ -17,7 +17,9 @@ type kind =
           task was quarantined after killing its executors *)
   | Net_io of string
       (** a socket operation failed (accept/connect/read/write on the
-          serving layer's wire or scrape sockets) *)
+          serving layer's wire or scrape sockets, whether kernel-born or
+          injected by a [Stdx.Netio] fault plan) — the kind
+          [Serve.Balancer] treats as its failover trigger *)
   | Io of string  (** other I/O (CSV writes, figure exports) *)
 
 exception Error of kind
@@ -50,7 +52,8 @@ val with_retries :
 val set_default_sleep : (float -> unit) -> unit
 (** Install the process-wide backoff sleep used when a [with_retries]
     call does not pass its own.  The library default is a [Sys.time]
-    clock spin (no unix dependency); [bin/] and [bench/] install
+    clock spin (exec makes no direct unix calls); [bin/] and [bench/]
+    install
     [Unix.sleepf] at startup so retry backoff yields the CPU. *)
 
 val default_sleep : float -> unit

@@ -1,0 +1,69 @@
+(** Replicated failover client: one {!Client} per endpoint, a circuit
+    breaker per endpoint, blind re-send on [Net_io].
+
+    Failover-by-resend is safe because every serve op is idempotent and
+    cache-keyed: the same request line yields byte-identical payloads on
+    any replica ({!Ops}'s parity contract), and a request that died
+    mid-flight at worst warmed a cache.  N daemons behind one balancer
+    therefore survive the loss of N−1: each {!request} walks the
+    endpoint rotation (round-robin cursor, so load spreads) and returns
+    the first reply, re-sending on every [Net_io] along the way.
+
+    Breaker state machine (per endpoint, against the injectable clock):
+
+    {v
+    Closed --[failure_threshold consecutive Net_io]--> Open
+    Open --[cooldown_s elapsed; next request probes]--> Half_open
+    Half_open --[probe succeeds]--> Closed
+    Half_open --[probe fails]--> Open (fresh cooldown)
+    any --[success]--> Closed (failure count reset)
+    v}
+
+    An [Open] breaker inside its cooldown is skipped — no connect
+    timeout is paid to a replica known down.  If {e every} usable
+    endpoint fails, a desperation pass retries the open ones anyway
+    (a wrong breaker verdict must not turn a degraded fleet into an
+    outage); only when that too fails does {!request} raise
+    [Error (Net_io "all N replica(s) unavailable ...")].
+
+    Metrics: [balancer_failovers_total] (a failed attempt with another
+    candidate remaining), [balancer_breaker_transitions_total{to}].
+
+    Not thread-safe: one balancer per thread/domain, like {!Client}. *)
+
+type t
+
+val create :
+  ?clock:(unit -> float) ->
+  ?cooldown_s:float ->
+  ?failure_threshold:int ->
+  ?connect_retries:int ->
+  ?netio:Netio.t ->
+  Proto.addr list ->
+  t
+(** Defaults: [Unix.gettimeofday], 1 s cooldown, 3 consecutive failures
+    to open, 2 connect attempts per dial (failover {e between} replicas
+    is the primary retry loop, so per-replica dial retries stay low),
+    real sockets.  Connections are dialed lazily, per endpoint, on first
+    use.  Raises [Invalid_argument] on an empty endpoint list or
+    [failure_threshold < 1]. *)
+
+val request : t -> Proto.request -> Proto.reply
+(** Send on the first available endpoint in rotation, failing over on
+    [Net_io]; raises [Error (Net_io _)] only when every replica —
+    including breaker-open ones on the desperation pass — refused.
+    Non-[Net_io] exceptions propagate untouched. *)
+
+val check_health : t -> (Proto.addr * bool) list
+(** Ping every endpoint (including breaker-open ones — health checks are
+    how an open breaker heals without waiting for live traffic), feeding
+    each outcome through the breaker. *)
+
+val endpoints : t -> Proto.addr list
+
+val states : t -> (Proto.addr * string) list
+(** Breaker states as [("closed" | "open" | "half-open")] per endpoint,
+    in creation order — for tests, logs, and verdict tables. *)
+
+val close : t -> unit
+(** Close every live connection (breaker state is retained). *)

@@ -1,17 +1,26 @@
+(* Fd-level, netio-threaded: every socket operation goes through the
+   pluggable Netio record so the netchaos harness can inject seeded
+   faults (EINTR, stalls, short reads, torn writes, resets) into a live
+   client.  Blocking semantics are preserved by looping: EINTR retries,
+   EAGAIN waits on select — both genuine kernel behaviors the injector
+   merely makes frequent. *)
+
 type t = {
   fd : Unix.file_descr;
-  ic : in_channel;
+  net : Netio.t;
+  rbuf : Buffer.t;  (* received bytes not yet consumed as lines *)
+  scratch : Bytes.t;
   mutable closed : bool;
 }
 
 let net_io fmt = Printf.ksprintf (fun m -> Exec.Error.Error (Exec.Error.Net_io m)) fmt
 
-let connect ?(retries = 5) addr =
+let connect ?(retries = 5) ?(netio = Netio.real) addr =
   let dial () =
     let sa = Proto.sockaddr addr in
     let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
     try
-      Unix.connect fd sa;
+      netio.Netio.connect fd sa;
       fd
     with Unix.Unix_error (e, fn, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -23,39 +32,93 @@ let connect ?(retries = 5) addr =
   let fd =
     Exec.Error.with_retries ~attempts:retries ~label:"serve-connect" dial
   in
-  { fd; ic = Unix.in_channel_of_descr fd; closed = false }
+  { fd; net = netio; rbuf = Buffer.create 256; scratch = Bytes.create 65536; closed = false }
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    (* closing the channel closes the underlying fd *)
-    try close_in t.ic with Sys_error _ -> ()
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let write_line t line =
+let wait_fd ~read fd =
+  let r, w = if read then ([ fd ], []) else ([], [ fd ]) in
+  match Unix.select r w [] 1.0 with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* Verbatim bytes, no newline appended: partial-frame and slow-loris
+   tests dribble request fragments through here. *)
+let send_bytes t data =
   if t.closed then raise (net_io "connection closed");
-  let data = line ^ "\n" in
   let n = String.length data in
   let off = ref 0 in
   try
     while !off < n do
-      match Unix.write_substring t.fd data !off (n - !off) with
+      match t.net.Netio.write t.fd data !off (n - !off) with
       | w -> off := !off + w
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          wait_fd ~read:false t.fd
     done
   with Unix.Unix_error (e, fn, _) ->
     raise (net_io "send: %s: %s" fn (Unix.error_message e))
+
+let write_line t line = send_bytes t (line ^ "\n")
 
 let send t req = write_line t (Proto.encode_request req)
 
 let send_raw t line = write_line t line
 
+(* Pop one newline-terminated line off the receive buffer, or None when
+   no full line is buffered yet. *)
+let pop_line t =
+  let data = Buffer.contents t.rbuf in
+  match String.index_opt data '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear t.rbuf;
+      Buffer.add_substring t.rbuf data (i + 1) (String.length data - i - 1);
+      Some (String.sub data 0 i)
+
+(* EOF with buffered bytes means the peer vanished mid-frame — a fault
+   the balancer should fail over from; EOF on a frame boundary is a
+   clean shutdown (daemon drained).  The two get distinct messages so
+   failover logs and tests can tell them apart. *)
+let eof_error t =
+  let pending = Buffer.length t.rbuf in
+  if pending = 0 then net_io "connection closed by server (clean eof)"
+  else
+    net_io
+      "connection torn mid-frame (%d byte(s) of a partial reply buffered)"
+      pending
+
 let recv_raw t =
   if t.closed then raise (net_io "connection closed");
-  match input_line t.ic with
-  | line -> line
-  | exception End_of_file -> raise (net_io "connection closed by server")
-  | exception Sys_error m -> raise (net_io "recv: %s" m)
+  let rec go () =
+    match pop_line t with
+    | Some line -> line
+    | None -> (
+        match t.net.Netio.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+        | 0 -> raise (eof_error t)
+        | n ->
+            Buffer.add_subbytes t.rbuf t.scratch 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            wait_fd ~read:true t.fd;
+            go ()
+        | exception Unix.Unix_error (e, fn, _) ->
+            let pending = Buffer.length t.rbuf in
+            if pending = 0 then
+              raise (net_io "recv: %s: %s" fn (Unix.error_message e))
+            else
+              raise
+                (net_io
+                   "recv: %s: %s (connection torn mid-frame, %d byte(s) of a \
+                    partial reply buffered)"
+                   fn (Unix.error_message e) pending))
+  in
+  go ()
 
 let recv t =
   let line = recv_raw t in
@@ -67,17 +130,25 @@ let request t req =
   send t req;
   recv t
 
-let scrape addr =
-  let c = connect addr in
+let scrape ?netio addr =
+  let c = connect ?netio addr in
   Fun.protect
     ~finally:(fun () -> close c)
     (fun () ->
       let buf = Buffer.create 4096 in
-      (try
-         while true do
-           Buffer.add_channel buf c.ic 1
-         done
-       with End_of_file -> ());
+      let eof = ref false in
+      while not !eof do
+        match c.net.Netio.read c.fd c.scratch 0 (Bytes.length c.scratch) with
+        | 0 -> eof := true
+        | n -> Buffer.add_subbytes buf c.scratch 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            wait_fd ~read:true c.fd
+        | exception Unix.Unix_error _ ->
+            (* a torn scrape yields what arrived — scrapes are periodic
+               and self-healing, so permissiveness beats an exception *)
+            eof := true
+      done;
       let all = Buffer.contents buf in
       (* strip the HTTP header block; tolerate a bare body too *)
       let sep = "\r\n\r\n" in

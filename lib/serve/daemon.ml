@@ -12,6 +12,13 @@ type config = {
   batch_max : int;
   tick_s : float;
   allow_chaos : bool;
+  max_conns : int;
+  idle_timeout_s : float;
+  read_deadline_s : float;
+  write_deadline_s : float;
+  drain_deadline_s : float;
+  netio : Netio.t;
+  clock : unit -> float;
 }
 
 let default_config ?cache ~listen () =
@@ -27,6 +34,13 @@ let default_config ?cache ~listen () =
     batch_max = 64;
     tick_s = 0.02;
     allow_chaos = false;
+    max_conns = 1024;
+    idle_timeout_s = 300.0;
+    read_deadline_s = 30.0;
+    write_deadline_s = 5.0;
+    drain_deadline_s = 5.0;
+    netio = Netio.real;
+    clock = Unix.gettimeofday;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -40,6 +54,29 @@ let m_batches = Obs.Metrics.counter "serve_batches_total"
 let m_batch_fallbacks = Obs.Metrics.counter "serve_batch_fallbacks_total"
 let m_io_errors = Obs.Metrics.counter "serve_io_errors_total"
 let m_queue_depth = Obs.Metrics.gauge "serve_queue_depth"
+let m_conns = Obs.Metrics.gauge "serve_conns"
+
+(* Pre-interned: evictions happen on the event-loop hot path. *)
+let m_evict_idle =
+  Obs.Metrics.counter ~labels:[ ("reason", "idle") ] "serve_evictions_total"
+
+let m_evict_slow_writer =
+  Obs.Metrics.counter
+    ~labels:[ ("reason", "slow-writer") ]
+    "serve_evictions_total"
+
+let m_evict_capacity =
+  Obs.Metrics.counter ~labels:[ ("reason", "capacity") ] "serve_evictions_total"
+
+let m_evict_drain =
+  Obs.Metrics.counter ~labels:[ ("reason", "drain") ] "serve_evictions_total"
+
+let m_evictions = function
+  | "idle" -> m_evict_idle
+  | "slow-writer" -> m_evict_slow_writer
+  | "capacity" -> m_evict_capacity
+  | "drain" -> m_evict_drain
+  | reason -> Obs.Metrics.counter ~labels:[ ("reason", reason) ] "serve_evictions_total"
 
 let m_latency =
   Obs.Metrics.histogram ~buckets:Obs.Metrics.default_latency_buckets
@@ -63,6 +100,8 @@ type conn = {
   mutable outpos : int;
   mutable skipping : bool;  (* discarding the tail of an oversized line *)
   mutable eof : bool;
+  mutable last_read : float;   (* last byte arrival (watchdog: read deadline, idle) *)
+  mutable last_wmove : float;  (* last outbound progress (watchdog: slow writer) *)
 }
 
 type work = {
@@ -117,6 +156,8 @@ let listen_on addr =
 
 let create cfg =
   if cfg.jobs < 1 then invalid_arg "Serve.Daemon.create: jobs must be >= 1";
+  if cfg.max_conns < 1 then
+    invalid_arg "Serve.Daemon.create: max_conns must be >= 1";
   let wire = listen_on cfg.listen in
   let scrape =
     match cfg.metrics with
@@ -133,7 +174,7 @@ let create cfg =
     admission =
       Exec.Admission.create ~max_inflight:cfg.max_inflight
         ~default_nodes:cfg.default_budget_nodes ~max_nodes:cfg.max_budget_nodes
-        ~clock:Unix.gettimeofday ();
+        ~clock:cfg.clock ();
     wire;
     scrape;
     conns = Hashtbl.create 16;
@@ -157,7 +198,7 @@ let fill d slot reply ~op ~t0 =
   slot.out <- Some (Proto.encode_reply reply);
   d.served <- d.served + 1;
   Obs.Metrics.inc (m_requests ~op ~outcome:(Proto.reply_status reply));
-  Obs.Metrics.observe m_latency (Unix.gettimeofday () -. t0)
+  Obs.Metrics.observe m_latency (d.cfg.clock () -. t0)
 
 let reply_now d conn reply ~op ~t0 =
   let slot = { out = None } in
@@ -191,7 +232,7 @@ let handle_line d conn line =
   if line = "" then ()
   else begin
     Obs.Metrics.add m_request_bytes (String.length line + 1);
-    let t0 = Unix.gettimeofday () in
+    let t0 = d.cfg.clock () in
     match Proto.decode_request line with
     | Error reason ->
         reply_now d conn (Proto.Error_reply { id = J.Null; op = "?"; reason })
@@ -261,7 +302,7 @@ let process_input d conn =
                    Printf.sprintf "oversized request line (%d > %d bytes)"
                      (String.length line) d.cfg.max_line_bytes;
                })
-            ~op:"?" ~t0:(Unix.gettimeofday ())
+            ~op:"?" ~t0:(d.cfg.clock ())
         else handle_line d conn line;
         i := j + 1
     | None ->
@@ -277,7 +318,7 @@ let process_input d conn =
                    Printf.sprintf "oversized request line (> %d bytes)"
                      d.cfg.max_line_bytes;
                })
-            ~op:"?" ~t0:(Unix.gettimeofday ());
+            ~op:"?" ~t0:(d.cfg.clock ());
           conn.skipping <- true
         end
         else Buffer.add_substring conn.inbuf data !i rest;
@@ -346,7 +387,39 @@ let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let drop_conn d conn =
   Hashtbl.remove d.conns conn.fd;
-  close_fd conn.fd
+  close_fd conn.fd;
+  Obs.Metrics.set m_conns (Hashtbl.length d.conns)
+
+(* The one write-with-deadline loop (satellite of the scrape-only
+   deadline this generalizes): push [data] down a nonblocking [fd],
+   waiting on select between partial writes, for at most [deadline_s].
+   [true] iff every byte went out.  Used by the scrape path, capacity
+   shedding, and eviction courtesy lines — anywhere the event loop must
+   write without letting a non-reading peer stall request serving. *)
+let write_with_deadline d ?deadline_s fd data =
+  let deadline_s =
+    match deadline_s with Some s -> s | None -> d.cfg.write_deadline_s
+  in
+  let n = String.length data in
+  let deadline = d.cfg.clock () +. deadline_s in
+  let off = ref 0 in
+  let stalled = ref false in
+  (try
+     while !off < n && not !stalled do
+       match d.cfg.netio.Netio.write fd data !off (n - !off) with
+       | w -> off := !off + w
+       | exception
+           Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+         -> (
+           let left = deadline -. d.cfg.clock () in
+           if left <= 0.0 then stalled := true
+           else
+             match Unix.select [] [ fd ] [] (Float.min left 0.05) with
+             | _ -> ()
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+     done
+   with Unix.Unix_error _ -> stalled := true);
+  !off >= n && not !stalled
 
 (* Move filled FIFO-head replies into the outgoing byte buffer. *)
 let promote_replies conn =
@@ -376,10 +449,11 @@ let try_write d conn =
   end
   else
     match
-      Unix.write_substring conn.fd data conn.outpos (n - conn.outpos)
+      d.cfg.netio.Netio.write conn.fd data conn.outpos (n - conn.outpos)
     with
     | written ->
         conn.outpos <- conn.outpos + written;
+        if written > 0 then conn.last_wmove <- d.cfg.clock ();
         if conn.outpos >= n then begin
           Buffer.clear conn.outbuf;
           conn.outpos <- 0
@@ -399,12 +473,13 @@ let read_chunk = Bytes.create 65536
 
 (* [true] when more bytes may come later, [false] at EOF. *)
 let read_into d conn =
-  match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+  match d.cfg.netio.Netio.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
   | 0 ->
       conn.eof <- true;
       false
   | n ->
       Buffer.add_subbytes conn.inbuf read_chunk 0 n;
+      conn.last_read <- d.cfg.clock ();
       true
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     ->
@@ -414,22 +489,50 @@ let read_into d conn =
       conn.eof <- true;
       false
 
+(* Reject-and-close at capacity: the shed peer gets a structured error
+   line (bounded by the write deadline), never a silent close, and the
+   shed is accounted as an eviction.  The cap bounds select() fan-in and
+   memory, so one flood cannot starve established connections. *)
+let shed_conn d fd =
+  Obs.Metrics.inc m_evict_capacity;
+  let line =
+    Proto.encode_reply
+      (Proto.Error_reply
+         {
+           id = J.Null;
+           op = "?";
+           reason =
+             Printf.sprintf "server at connection capacity (max_conns=%d)"
+               d.cfg.max_conns;
+         })
+    ^ "\n"
+  in
+  ignore (write_with_deadline d fd line);
+  close_fd fd
+
 let accept_wire d =
   let rec go () =
-    match Unix.accept d.wire with
+    match d.cfg.netio.Netio.accept d.wire with
     | fd, _ ->
         Unix.set_nonblock fd;
         Obs.Metrics.inc m_connections;
-        Hashtbl.replace d.conns fd
-          {
-            fd;
-            inbuf = Buffer.create 256;
-            slots = Queue.create ();
-            outbuf = Buffer.create 256;
-            outpos = 0;
-            skipping = false;
-            eof = false;
-          };
+        if Hashtbl.length d.conns >= d.cfg.max_conns then shed_conn d fd
+        else begin
+          let now = d.cfg.clock () in
+          Hashtbl.replace d.conns fd
+            {
+              fd;
+              inbuf = Buffer.create 256;
+              slots = Queue.create ();
+              outbuf = Buffer.create 256;
+              outpos = 0;
+              skipping = false;
+              eof = false;
+              last_read = now;
+              last_wmove = now;
+            };
+          Obs.Metrics.set m_conns (Hashtbl.length d.conns)
+        end;
         go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
@@ -440,13 +543,11 @@ let accept_wire d =
 
 (* One scrape = one connection: accept, write the Prometheus rendering
    of the live registry as a minimal HTTP response, close.  The scrape
-   shares the single event-loop thread, so writes are nonblocking under
-   a short deadline: a scraper that connects and never reads gets
-   dropped instead of stalling request serving. *)
-let scrape_write_deadline_s = 1.0
-
-let serve_scrape fd =
-  match Unix.accept fd with
+   shares the single event-loop thread, so it uses the shared
+   write-with-deadline loop: a scraper that connects and never reads
+   gets dropped instead of stalling request serving. *)
+let serve_scrape d fd =
+  match d.cfg.netio.Netio.accept fd with
   | client, _ ->
       Obs.Metrics.inc m_scrapes;
       let body = Obs.Export.prometheus (Obs.Metrics.snapshot ()) in
@@ -460,29 +561,9 @@ let serve_scrape fd =
            %s"
           (String.length body) body
       in
-      (try
-         Unix.set_nonblock client;
-         let n = String.length data in
-         let deadline = Unix.gettimeofday () +. scrape_write_deadline_s in
-         let off = ref 0 in
-         let stalled = ref false in
-         while !off < n && not !stalled do
-           match Unix.write_substring client data !off (n - !off) with
-           | w -> off := !off + w
-           | exception
-               Unix.Unix_error
-                 ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> (
-               let left = deadline -. Unix.gettimeofday () in
-               if left <= 0.0 then begin
-                 stalled := true;
-                 Obs.Metrics.inc m_io_errors
-               end
-               else
-                 match Unix.select [] [ client ] [] (Float.min left 0.05) with
-                 | _ -> ()
-                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-         done
-       with Unix.Unix_error _ -> Obs.Metrics.inc m_io_errors);
+      (try Unix.set_nonblock client with Unix.Unix_error _ -> ());
+      if not (write_with_deadline d client data) then
+        Obs.Metrics.inc m_io_errors;
       close_fd client
   | exception Unix.Unix_error _ -> ()
 
@@ -492,6 +573,57 @@ let serve_scrape fd =
 let flushable conn =
   Buffer.length conn.outbuf > conn.outpos
   || match Queue.peek_opt conn.slots with Some { out = Some _ } -> true | _ -> false
+
+(* An in-flight request (admitted, no reply yet) exempts a connection
+   from idle eviction: the client is waiting on us, not vice versa. *)
+let awaiting_us conn =
+  (not (Queue.is_empty conn.slots)) || Buffer.length conn.outbuf > conn.outpos
+
+let evict d conn reason =
+  Obs.Metrics.inc (m_evictions reason);
+  (* Courtesy line, best-effort with a token deadline: an evicted peer
+     that still reads learns why; one that does not cannot stall us. *)
+  (if reason = "idle" then
+     let line =
+       Proto.encode_reply
+         (Proto.Error_reply
+            {
+              id = J.Null;
+              op = "?";
+              reason = "connection evicted: " ^ reason ^ " past deadline";
+            })
+       ^ "\n"
+     in
+     ignore (write_with_deadline d ~deadline_s:0.05 conn.fd line));
+  drop_conn d conn
+
+(* The watchdog sweep (the Exec.Pool supervision idiom, applied to
+   connections): once per tick, against the injectable clock. *)
+let sweep_lifecycle d now =
+  let victims = ref [] in
+  Hashtbl.iter
+    (fun _ conn ->
+      let reason =
+        if flushable conn && now -. conn.last_wmove > d.cfg.write_deadline_s
+        then Some "slow-writer"
+        else if
+          (not conn.eof)
+          && (Buffer.length conn.inbuf > 0 || conn.skipping)
+          && now -. conn.last_read > d.cfg.read_deadline_s
+        then Some "idle"  (* a partial request line, stalled mid-frame *)
+        else if
+          (not conn.eof)
+          && (not (awaiting_us conn))
+          && Buffer.length conn.inbuf = 0
+          && now -. conn.last_read > d.cfg.idle_timeout_s
+        then Some "idle"  (* no traffic, nothing owed either way *)
+        else None
+      in
+      match reason with
+      | Some r -> victims := (conn, r) :: !victims
+      | None -> ())
+    d.conns;
+  List.iter (fun (conn, r) -> evict d conn r) !victims
 
 let run d =
   if d.ran then invalid_arg "Serve.Daemon.run: already ran";
@@ -538,7 +670,7 @@ let run d =
           List.iter
             (fun fd ->
               if fd = d.wire then accept_wire d
-              else if d.scrape = Some fd then serve_scrape fd
+              else if d.scrape = Some fd then serve_scrape d fd
               else
                 match Hashtbl.find_opt d.conns fd with
                 | None -> ()
@@ -552,10 +684,15 @@ let run d =
     end;
     dispatch d;
     (* Flush replies; reap connections that are done. *)
+    let now = d.cfg.clock () in
     let done_conns = ref [] in
     Hashtbl.iter
       (fun _ conn ->
+        let was_flushable = flushable conn in
         promote_replies conn;
+        (* The slow-writer watchdog starts when output first appears —
+           not from the last write of a long-quiet connection. *)
+        if (not was_flushable) && flushable conn then conn.last_wmove <- now;
         if try_write d conn then
           if
             conn.eof
@@ -564,16 +701,17 @@ let run d =
           then done_conns := conn :: !done_conns)
       d.conns;
     List.iter (drop_conn d) !done_conns;
+    if not d.draining then sweep_lifecycle d (d.cfg.clock ());
     if d.draining then begin
       (* Everything is admitted and dispatched; all that remains is
          pushing bytes.  A peer that never drains its socket gets a
-         bounded grace period, then is dropped. *)
-      let deadline = Unix.gettimeofday () +. 5.0 in
+         bounded grace period, then is dropped — and accounted. *)
+      let deadline = d.cfg.clock () +. d.cfg.drain_deadline_s in
       let rec final_flush () =
         let pending =
           Hashtbl.fold (fun _ c acc -> if flushable c then c :: acc else acc) d.conns []
         in
-        if pending <> [] && Unix.gettimeofday () < deadline then begin
+        if pending <> [] && d.cfg.clock () < deadline then begin
           (match
              Unix.select [] (List.map (fun c -> c.fd) pending) [] d.cfg.tick_s
            with
@@ -591,8 +729,13 @@ let run d =
         end
       in
       final_flush ();
-      Hashtbl.iter (fun _ conn -> close_fd conn.fd) d.conns;
+      Hashtbl.iter
+        (fun _ conn ->
+          if flushable conn then Obs.Metrics.inc m_evict_drain;
+          close_fd conn.fd)
+        d.conns;
       Hashtbl.reset d.conns;
+      Obs.Metrics.set m_conns 0;
       finished := true
     end
   done;

@@ -22,12 +22,28 @@
     {!Exec.Error.kind.Net_io}: a dead client costs its connection,
     nothing else.
 
+    Connection lifecycle (the {!Exec.Pool} watchdog idiom, applied to
+    sockets; every deadline reads the injectable [clock]): at most
+    [max_conns] connections are held at once — excess accepts are shed
+    with a structured error line and closed, never silently dropped; a
+    connection holding a partial request line longer than
+    [read_deadline_s] without new bytes is evicted (slow-loris); a
+    connection with pending output that accepts no bytes for
+    [write_deadline_s] is evicted (slow writer — the generalization of
+    the scrape write deadline); a connection with no traffic and nothing
+    owed for [idle_timeout_s] is evicted.  Evictions are counted in
+    [serve_evictions_total{reason="idle"|"slow-writer"|"capacity"|"drain"}]
+    and the live connection count is the [serve_conns] gauge.  All
+    socket operations go through the pluggable [netio] record, so the
+    netchaos harness can inject seeded faults ({!Serve.Netio.chaos}) on
+    a live daemon.
+
     Shutdown: {!stop} (or SIGINT/SIGTERM in the CLI wrapper, which calls
     it) drains — listeners close, already-received bytes are parsed,
     every admitted request runs to its terminal reply (budget caps bound
-    the wait), buffers flush, sockets close, the pool shuts down.
-    Metrics: [serve_*] counters/gauges/histograms, catalogued in
-    docs/SERVING.md. *)
+    the wait), buffers flush for at most [drain_deadline_s], sockets
+    close, the pool shuts down.  Metrics: [serve_*] counters/gauges/
+    histograms, catalogued in docs/SERVING.md. *)
 
 type config = {
   listen : Proto.addr;
@@ -43,19 +59,46 @@ type config = {
   batch_max : int;  (** most requests one pool batch may carry *)
   tick_s : float;  (** event-loop poll period (drain/stop latency) *)
   allow_chaos : bool;  (** honor [chaos-kill] requests (tests/benches) *)
+  max_conns : int;
+      (** connection cap; accepts beyond it are shed with a structured
+          error reply and counted as [capacity] evictions *)
+  idle_timeout_s : float;
+      (** a connection with no traffic and nothing owed either way for
+          this long is evicted ([idle]) *)
+  read_deadline_s : float;
+      (** a partial request line must grow within this long of its last
+          byte, or the connection is evicted ([idle]) — the slow-loris
+          bound *)
+  write_deadline_s : float;
+      (** pending output must make progress within this long, or the
+          connection is evicted ([slow-writer]); also bounds scrape
+          responses and capacity-shed error lines *)
+  drain_deadline_s : float;
+      (** grace period for flushing replies during shutdown drain;
+          connections still holding bytes at the deadline are dropped
+          and counted as [drain] evictions *)
+  netio : Netio.t;
+      (** socket backend; {!Netio.real} in production,
+          {!Serve.Netio.chaos} under fault injection *)
+  clock : unit -> float;
+      (** time source for deadlines, admission, and latency metrics;
+          injectable for deterministic lifecycle tests *)
 }
 
 val default_config : ?cache:Exec.Cache.t -> listen:Proto.addr -> unit -> config
 (** jobs 1, no metrics listener, disabled cache unless given, window 64,
     default budget 1M nodes, ceiling 4M, 1 MiB lines, batches of 64,
-    20 ms ticks, chaos off. *)
+    20 ms ticks, chaos off, 1024 connections, 300 s idle timeout, 30 s
+    read deadline, 5 s write deadline, 5 s drain deadline, real sockets,
+    [Unix.gettimeofday]. *)
 
 type t
 
 val create : config -> t
 (** Bind and listen on the configured addresses (an existing Unix-domain
     socket {e file} at the path is replaced if stale).  Raises
-    {!Exec.Error.Error}[ (Net_io _)] when a socket cannot be bound. *)
+    {!Exec.Error.Error}[ (Net_io _)] when a socket cannot be bound, and
+    [Invalid_argument] on [jobs < 1] or [max_conns < 1]. *)
 
 val run : t -> unit
 (** The blocking event loop; returns after {!stop} has been honoured and

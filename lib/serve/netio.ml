@@ -1,0 +1,27 @@
+(* The serving layer's view of Stdx.Netio: the same interface and plans,
+   plus Obs metering — injections surface as
+   netio_faults_injected_total{kind} so a netchaos run's fault pressure
+   is visible next to the recovery counters it provokes (io errors,
+   evictions, failovers, retries). *)
+
+include Stdx.Netio
+
+(* Pre-interned per kind: injection sits on the wire hot path. *)
+let m_fault kind =
+  Obs.Metrics.counter ~labels:[ ("kind", kind) ] "netio_faults_injected_total"
+
+let meters =
+  lazy
+    (List.map
+       (fun k -> (k, m_fault k))
+       [ "eintr"; "refuse"; "reset"; "short_read"; "torn_write"; "stall" ])
+
+let chaos ?(on_fault = fun _ -> ()) inj =
+  let meters = Lazy.force meters in
+  Stdx.Netio.faulty
+    ~on_fault:(fun kind ->
+      (match List.assoc_opt kind meters with
+      | Some c -> Obs.Metrics.inc c
+      | None -> ());
+      on_fault kind)
+    inj

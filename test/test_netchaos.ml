@@ -1,0 +1,509 @@
+(* Network chaos: Stdx.Netio plan/injector semantics (validation, replay
+   determinism, short-read/torn-write bounds), the client's clean-EOF vs
+   torn-mid-frame distinction, connection-lifecycle hardening in the
+   daemon (slow-loris, read-deadline and idle eviction, max_conns
+   shedding, slow-writer eviction under injected write stalls), fault
+   absorption by a chaos client against a live daemon, and the
+   balancer's failover + circuit-breaker state machine. *)
+
+module J = Stdx.Jsonx
+module Netio = Stdx.Netio
+module Proto = Serve.Proto
+module Client = Serve.Client
+module Daemon = Serve.Daemon
+module Balancer = Serve.Balancer
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let fresh_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "maxis-netchaos-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+(* Injected EPIPE/reset on raw test sockets must cost an exception, not
+   the test process. *)
+let () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let counter_value name reason =
+  Obs.Metrics.value
+    (Obs.Metrics.counter ~labels:[ ("reason", reason) ] name)
+
+let evictions reason = counter_value "serve_evictions_total" reason
+
+(* ------------------------------------------------------------------ *)
+(* Stdx.Netio: plans and injectors *)
+
+let test_op_fault_validation () =
+  let bad f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "probability out of [0,1] accepted"
+  in
+  bad (fun () -> Netio.op_fault ~eintr:1.5 ());
+  bad (fun () -> Netio.op_fault ~short_read:(-0.1) ());
+  bad (fun () -> Netio.op_fault ~stall:Float.nan ());
+  ignore (Netio.op_fault ~eintr:0.0 ~torn_write:1.0 ())
+
+(* Run a scripted read sequence — all bytes pre-written, writer closed,
+   so the op sequence is a pure function of the fault stream, which is a
+   pure function of the seed.  Returns (fault kinds in order, bytes
+   reassembled). *)
+let scripted_read_episode seed =
+  let payload = String.init 257 (fun i -> Char.chr (i mod 251)) in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec write_all off =
+    if off < String.length payload then
+      write_all (off + Unix.write_substring a payload off (String.length payload - off))
+  in
+  write_all 0;
+  Unix.close a;
+  let plan =
+    Netio.plan
+      ~overrides:
+        [ ("read", Netio.op_fault ~eintr:0.2 ~stall:0.1 ~short_read:0.6 ()) ]
+      seed
+  in
+  let inj = Netio.injector plan in
+  let faults = ref [] in
+  let net = Netio.faulty ~on_fault:(fun k -> faults := k :: !faults) inj in
+  let buf = Bytes.create 64 in
+  let out = Buffer.create 257 in
+  let eof = ref false in
+  while not !eof do
+    match net.Netio.read b buf 0 (Bytes.length buf) with
+    | 0 -> eof := true
+    | n -> Buffer.add_subbytes out buf 0 n
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()  (* absorbed; the bytes are still buffered in the kernel *)
+  done;
+  Unix.close b;
+  (List.rev !faults, Buffer.contents out, Netio.faults_injected inj)
+
+let test_replay_determinism () =
+  let f1, bytes1, counts1 = scripted_read_episode 42 in
+  let f2, bytes2, counts2 = scripted_read_episode 42 in
+  let f3, _, _ = scripted_read_episode 43 in
+  check "same seed, same fault sequence" true (f1 = f2);
+  check "same seed, same fault counts" true (counts1 = counts2);
+  check "faults actually fired" true (f1 <> []);
+  check "different seed, different fault sequence" true (f1 <> f3);
+  let payload = String.init 257 (fun i -> Char.chr (i mod 251)) in
+  check_string "reassembly survives faults" payload bytes1;
+  check_string "reassembly survives faults (replay)" payload bytes2
+
+let test_short_and_torn_bounds () =
+  (* With certainty-1 truncation every op still makes >= 1 byte of
+     progress, so loops terminate and the transfer completes intact. *)
+  let payload = String.init 300 (fun i -> Char.chr (255 - (i mod 256))) in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let inj =
+    Netio.injector
+      (Netio.plan
+         ~overrides:
+           [
+             ("write", Netio.op_fault ~torn_write:1.0 ());
+             ("read", Netio.op_fault ~short_read:1.0 ());
+           ]
+         7)
+  in
+  let net = Netio.faulty inj in
+  let writes = ref 0 in
+  let rec write_all off =
+    if off < String.length payload then begin
+      let w = net.Netio.write a payload off (String.length payload - off) in
+      incr writes;
+      check "torn write still progresses" true (w >= 1);
+      write_all (off + w)
+    end
+  in
+  write_all 0;
+  Unix.close a;
+  check "writes were torn" true (!writes > 1);
+  let buf = Bytes.create 64 in
+  let out = Buffer.create 300 in
+  let eof = ref false in
+  while not !eof do
+    match net.Netio.read b buf 0 (Bytes.length buf) with
+    | 0 -> eof := true
+    | n ->
+        check "short read in bounds" true (n >= 1 && n <= Bytes.length buf);
+        Buffer.add_subbytes out buf 0 n
+  done;
+  Unix.close b;
+  check_string "transfer intact" payload (Buffer.contents out);
+  check_int "torn_write metered" !writes
+    (match List.assoc_opt "torn_write" (Netio.faults_injected inj) with
+    | Some c -> c
+    | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Client: clean EOF vs torn mid-frame (raw in-test server) *)
+
+let with_raw_server body f =
+  (* A listening socket whose "daemon" is the [body] callback on the
+     accepted fd — for scripting disconnects the real daemon never
+     produces. *)
+  let sock = fresh_sock () in
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX sock);
+  Unix.listen srv 8;
+  let t =
+    Domain.spawn (fun () ->
+        let fd, _ = Unix.accept srv in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> body fd))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.join t;
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () -> f (Proto.Unix_sock sock))
+
+let net_io_message f =
+  match f () with
+  | _ -> Alcotest.fail "expected Net_io"
+  | exception Exec.Error.Error (Exec.Error.Net_io m) -> m
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_clean_eof_message () =
+  with_raw_server
+    (fun _fd -> ())  (* accept, say nothing, close: a frame boundary *)
+    (fun addr ->
+      let c = Client.connect addr in
+      let m = net_io_message (fun () -> Client.recv c) in
+      check ("clean eof message: " ^ m) true (contains ~needle:"clean eof" m);
+      Client.close c)
+
+let test_torn_mid_frame_message () =
+  with_raw_server
+    (fun fd ->
+      (* half a reply line, no newline, then vanish *)
+      let s = {|{"id":1,"op":"pi|} in
+      ignore (Unix.write_substring fd s 0 (String.length s)))
+    (fun addr ->
+      let c = Client.connect addr in
+      let m = net_io_message (fun () -> Client.recv c) in
+      check
+        ("torn message: " ^ m)
+        true
+        (contains ~needle:"torn mid-frame" m);
+      check "not labeled clean" false (contains ~needle:"clean eof" m);
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon lifecycle hardening *)
+
+let with_daemon ?(configure = Fun.id) f =
+  let sock = fresh_sock () in
+  let cfg =
+    configure
+      {
+        (Daemon.default_config ~listen:(Proto.Unix_sock sock) ()) with
+        Daemon.tick_s = 0.01;
+      }
+  in
+  let d = Daemon.create cfg in
+  let h = Domain.spawn (fun () -> Daemon.run d) in
+  Fun.protect
+    ~finally:(fun () ->
+      Daemon.stop d;
+      Domain.join h)
+    (fun () -> f (Proto.Unix_sock sock) d)
+
+let test_slow_loris_is_served () =
+  (* One byte per tick is slow but *progressing*: the read deadline is
+     per-byte-of-progress, so the request must complete and be answered. *)
+  with_daemon
+    ~configure:(fun cfg -> { cfg with Daemon.read_deadline_s = 1.0 })
+    (fun addr _d ->
+      let c = Client.connect addr in
+      let line = Proto.encode_request (Proto.ping ~id:(J.Int 77) ()) ^ "\n" in
+      String.iter
+        (fun ch ->
+          Client.send_bytes c (String.make 1 ch);
+          Unix.sleepf 0.005)
+        line;
+      let r = Client.recv c in
+      check_string "slow-loris request answered" "ok" (Proto.reply_status r);
+      check "id echoed" true (Proto.reply_id r = J.Int 77);
+      Client.close c)
+
+let test_stalled_partial_line_evicted () =
+  with_daemon
+    ~configure:(fun cfg -> { cfg with Daemon.read_deadline_s = 0.15 })
+    (fun addr _d ->
+      let before = evictions "idle" in
+      let c = Client.connect addr in
+      Client.send_bytes c {|{"op":"pi|};  (* partial line, then silence *)
+      (* The eviction courtesy line is a structured error; after it, EOF. *)
+      (match Client.recv c with
+      | r ->
+          check_string "courtesy reply is an error" "error" (Proto.reply_status r);
+          check "reason mentions eviction" true
+            (contains ~needle:"evicted"
+               (Option.value (Proto.reply_reason r) ~default:""))
+      | exception Exec.Error.Error (Exec.Error.Net_io _) -> ());
+      check "idle eviction counted" true (evictions "idle" > before);
+      Client.close c)
+
+let test_idle_connection_evicted () =
+  with_daemon
+    ~configure:(fun cfg -> { cfg with Daemon.idle_timeout_s = 0.15 })
+    (fun addr _d ->
+      let before = evictions "idle" in
+      let c = Client.connect addr in
+      (* no bytes at all; nothing owed either way *)
+      (match Client.recv c with
+      | _ -> ()
+      | exception Exec.Error.Error (Exec.Error.Net_io _) -> ());
+      check "idle eviction counted" true (evictions "idle" > before);
+      Client.close c)
+
+let test_max_conns_shed () =
+  with_daemon
+    ~configure:(fun cfg -> { cfg with Daemon.max_conns = 2 })
+    (fun addr _d ->
+      let before = evictions "capacity" in
+      let c1 = Client.connect addr in
+      let c2 = Client.connect addr in
+      (* both held connections must be live before the third arrives *)
+      check_string "c1 live" "ok" (Proto.reply_status (Client.request c1 (Proto.ping ())));
+      check_string "c2 live" "ok" (Proto.reply_status (Client.request c2 (Proto.ping ())));
+      let c3 = Client.connect addr in
+      (* shedding is structured: an error line, then close — not silence *)
+      let r = Client.recv c3 in
+      check_string "shed reply is an error" "error" (Proto.reply_status r);
+      check "reason names capacity" true
+        (contains ~needle:"capacity"
+           (Option.value (Proto.reply_reason r) ~default:""));
+      check "capacity eviction counted" true (evictions "capacity" > before);
+      (* the held connections are unharmed *)
+      check_string "c1 survives the flood" "ok"
+        (Proto.reply_status (Client.request c1 (Proto.ping ())));
+      Client.close c1;
+      Client.close c2;
+      Client.close c3)
+
+let test_slow_writer_evicted () =
+  (* Injected certainty-1 write stalls on the daemon side: replies queue
+     but never flush, so the slow-writer watchdog must evict. *)
+  let inj =
+    Serve.Netio.injector
+      (Serve.Netio.plan
+         ~overrides:[ ("write", Serve.Netio.op_fault ~stall:1.0 ()) ]
+         5)
+  in
+  with_daemon
+    ~configure:(fun cfg ->
+      {
+        cfg with
+        Daemon.netio = Serve.Netio.chaos inj;
+        write_deadline_s = 0.15;
+        drain_deadline_s = 0.1;
+      })
+    (fun addr _d ->
+      let before = evictions "slow-writer" in
+      let c = Client.connect addr in
+      Client.send c (Proto.ping ());
+      (match Client.recv c with
+      | _ -> Alcotest.fail "reply flushed through a stalled writer"
+      | exception Exec.Error.Error (Exec.Error.Net_io _) -> ());
+      check "slow-writer eviction counted" true
+        (evictions "slow-writer" > before);
+      check "stalls were injected" true (Serve.Netio.total_injected inj > 0);
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Fault absorption: a chaos client against a live daemon *)
+
+let solve_sp =
+  {
+    Proto.solve_defaults with
+    Proto.ell = 3;
+    players = 2;
+    seed = 11;
+    budget_nodes = Some 200_000;
+  }
+
+let test_client_absorbs_faults () =
+  with_daemon (fun addr _d ->
+      (* reference payloads over a clean connection *)
+      let clean = Client.connect addr in
+      let reference =
+        List.init 6 (fun i ->
+            let req =
+              if i mod 2 = 0 then Proto.ping ~id:(J.Int i) ()
+              else Proto.solve ~id:(J.Int i) solve_sp
+            in
+            Option.value
+              (Proto.reply_payload (Client.request clean req))
+              ~default:"")
+      in
+      Client.close clean;
+      (* faults scoped to the stream ops: connect stays clean so the
+         dial retry budget is not what this test exercises *)
+      let inj =
+        Serve.Netio.injector
+          (Serve.Netio.plan
+             ~overrides:
+               [
+                 ("read", Serve.Netio.op_fault ~eintr:0.3 ~stall:0.2 ~short_read:0.4 ());
+                 ("write", Serve.Netio.op_fault ~eintr:0.3 ~stall:0.2 ~torn_write:0.4 ());
+               ]
+             2024)
+      in
+      let c = Client.connect ~netio:(Serve.Netio.chaos inj) addr in
+      let chaotic =
+        List.init 6 (fun i ->
+            let req =
+              if i mod 2 = 0 then Proto.ping ~id:(J.Int i) ()
+              else Proto.solve ~id:(J.Int i) solve_sp
+            in
+            let r = Client.request c req in
+            check_string "chaos request ok" "ok" (Proto.reply_status r);
+            Option.value (Proto.reply_payload r) ~default:"")
+      in
+      Client.close c;
+      check "payload parity under faults" true (chaotic = reference);
+      check "faults were injected" true (Serve.Netio.total_injected inj > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Balancer *)
+
+let test_balancer_empty_rejected () =
+  match Balancer.create [] with
+  | _ -> Alcotest.fail "empty endpoint list accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_balancer_failover_midrun () =
+  let sock1 = fresh_sock () and sock2 = fresh_sock () in
+  let addr1 = Proto.Unix_sock sock1 and addr2 = Proto.Unix_sock sock2 in
+  let mk addr =
+    let d = Daemon.create { (Daemon.default_config ~listen:addr ()) with Daemon.tick_s = 0.01 } in
+    (d, Domain.spawn (fun () -> Daemon.run d))
+  in
+  let d1, h1 = mk addr1 in
+  let d2, h2 = mk addr2 in
+  let stop (d, h) = Daemon.stop d; Domain.join h in
+  Fun.protect
+    ~finally:(fun () ->
+      stop (d1, h1);
+      stop (d2, h2))
+    (fun () ->
+      let bal = Balancer.create ~connect_retries:2 [ addr1; addr2 ] in
+      let ask i =
+        let r = Balancer.request bal (Proto.ping ~id:(J.Int i) ()) in
+        check_string "balanced ping ok" "ok" (Proto.reply_status r)
+      in
+      for i = 1 to 4 do ask i done;
+      (* kill replica 1 mid-run: every subsequent request must still be
+         answered, via failover to replica 2 *)
+      stop (d1, h1);
+      for i = 5 to 12 do ask i done;
+      check "health check sees the dead replica" true
+        (List.exists
+           (fun (a, ok) -> a = addr1 && not ok)
+           (Balancer.check_health bal));
+      check "health check sees the live replica" true
+        (List.exists (fun (a, ok) -> a = addr2 && ok) (Balancer.check_health bal));
+      Balancer.close bal)
+
+let test_breaker_state_machine () =
+  let sock = fresh_sock () in
+  let addr = Proto.Unix_sock sock in
+  let now = ref 0.0 in
+  let bal =
+    Balancer.create
+      ~clock:(fun () -> !now)
+      ~cooldown_s:5.0 ~failure_threshold:2 ~connect_retries:1 [ addr ]
+  in
+  let state () = List.assoc addr (Balancer.states bal) in
+  let expect_unavailable () =
+    match Balancer.request bal (Proto.ping ()) with
+    | _ -> Alcotest.fail "request served with no replica up"
+    | exception Exec.Error.Error (Exec.Error.Net_io m) ->
+        check ("message names replicas: " ^ m) true
+          (contains ~needle:"replica" m)
+  in
+  check_string "starts closed" "closed" (state ());
+  expect_unavailable ();
+  check_string "one failure: still closed" "closed" (state ());
+  expect_unavailable ();
+  check_string "threshold reached: open" "open" (state ());
+  (* inside the cooldown, the desperation pass still tries (and fails) *)
+  expect_unavailable ();
+  check_string "still open" "open" (state ());
+  (* replica comes up; past the cooldown the breaker half-opens, the
+     probe succeeds, the breaker closes *)
+  let d =
+    Daemon.create
+      { (Daemon.default_config ~listen:addr ()) with Daemon.tick_s = 0.01 }
+  in
+  let h = Domain.spawn (fun () -> Daemon.run d) in
+  Fun.protect
+    ~finally:(fun () ->
+      Daemon.stop d;
+      Domain.join h)
+    (fun () ->
+      now := 100.0;
+      let r = Balancer.request bal (Proto.ping ()) in
+      check_string "probe served" "ok" (Proto.reply_status r);
+      check_string "recovered: closed" "closed" (state ());
+      Balancer.close bal)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "netchaos"
+    [
+      ( "netio",
+        [
+          Alcotest.test_case "probability validation" `Quick
+            test_op_fault_validation;
+          Alcotest.test_case "seeded replay determinism" `Quick
+            test_replay_determinism;
+          Alcotest.test_case "short/torn bounds + intact transfer" `Quick
+            test_short_and_torn_bounds;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "clean eof message" `Quick test_clean_eof_message;
+          Alcotest.test_case "torn mid-frame message" `Quick
+            test_torn_mid_frame_message;
+          Alcotest.test_case "absorbs injected faults, parity kept" `Quick
+            test_client_absorbs_faults;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "slow-loris served" `Quick test_slow_loris_is_served;
+          Alcotest.test_case "stalled partial line evicted" `Quick
+            test_stalled_partial_line_evicted;
+          Alcotest.test_case "idle connection evicted" `Quick
+            test_idle_connection_evicted;
+          Alcotest.test_case "max_conns shed structurally" `Quick
+            test_max_conns_shed;
+          Alcotest.test_case "slow writer evicted" `Quick
+            test_slow_writer_evicted;
+        ] );
+      ( "balancer",
+        [
+          Alcotest.test_case "empty endpoint list rejected" `Quick
+            test_balancer_empty_rejected;
+          Alcotest.test_case "failover mid-run" `Quick
+            test_balancer_failover_midrun;
+          Alcotest.test_case "breaker state machine" `Quick
+            test_breaker_state_machine;
+        ] );
+    ]
