@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-par verify examples soak faults chaos netchaos fsck figures kill-resume serve bench-serve bench-netchaos serve-smoke cache-clean journal-clean clean
+.PHONY: all build test bench bench-par verify examples soak faults chaos netchaos fsck figures kill-resume serve bench-serve bench-netchaos serve-smoke largen bench-largen cache-clean journal-clean clean
 
 all: build
 
@@ -85,6 +85,19 @@ bench-netchaos:
 # Prometheus scrape -> SIGTERM drain (also the CI serve job).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Large-n engine smoke: CSR/executor differential battery + the
+# LARGEN bench leg capped at n = 10⁴ (docs/PERF.md).
+largen:
+	dune exec test/test_csr.exe
+	dune exec test/test_perf_guard.exe
+	MAXIS_LARGEN_MAX_N=10000 dune exec bench/main.exe -- LARGEN
+
+# Full-scale sweep to n = 10⁵: flood/BFS/Luby + one gadget family on
+# CSR, plus the seed/list/flat executor speedup leg (writes
+# results/largen.csv and appends a trajectory entry to BENCH_largen.json).
+bench-largen:
+	dune exec bench/main.exe -- LARGEN
 
 # Drop cached exact-MIS results; the next run recomputes and repopulates.
 cache-clean:

@@ -1,0 +1,146 @@
+(* The seed CONGEST executor, frozen as a benchmark baseline.
+
+   The library runtime was rewritten over preallocated arena buffers and
+   streaming trace accumulators (lib/congest/runtime.ml, trace.ml); this
+   module keeps the original implementation — per-send record allocation
+   into a growable log, per-round (src, dst) hashtable bandwidth
+   bookkeeping, cons-built inboxes re-sorted at delivery — so the
+   LARGEN bench can report the speedup of the current engine against the
+   seed path on identical workloads, forever, without checking out old
+   commits.  Faithful to the seed modulo the fault-injection plumbing,
+   which the comparison leg never exercises (fault-free config) and
+   which cost nothing when disabled.
+
+   Not part of the library: only exp_largen links it, and nothing in it
+   is reachable from lib/.  Do not "optimize" this file — its slowness
+   is the datum. *)
+
+module Graph = Wgraph.Graph
+module Msg = Congest.Msg
+module Program = Congest.Program
+
+(* ------------------------------------------------------------------ *)
+(* Seed trace: one boxed record per send, totals by folding the log. *)
+
+type send = { round : int; src : int; dst : int; bits : int }
+
+type trace = { sends : send Stdx.Dynvec.t; mutable executed_rounds : int }
+
+let create_trace () = { sends = Stdx.Dynvec.create (); executed_rounds = 0 }
+
+let record_send t ~round ~src ~dst ~bits =
+  Stdx.Dynvec.push t.sends { round; src; dst; bits }
+
+let total_messages t = Stdx.Dynvec.length t.sends
+
+let total_bits t =
+  Stdx.Dynvec.fold (fun acc (s : send) -> acc + s.bits) 0 t.sends
+
+(* ------------------------------------------------------------------ *)
+(* Seed round loop (fault-free). *)
+
+type 'out result = {
+  outputs : 'out option array;
+  rounds_executed : int;
+  all_halted : bool;
+  trace : trace;
+}
+
+type metrics = {
+  m_runs : Obs.Metrics.counter;
+  m_rounds : Obs.Metrics.counter;
+  m_messages : Obs.Metrics.counter;
+  m_bits : Obs.Metrics.counter;
+  m_deliveries : Obs.Metrics.counter;
+}
+
+let metrics_for algo =
+  let labels = [ ("algo", algo) ] in
+  {
+    m_runs = Obs.Metrics.counter ~labels "congest_runs_total";
+    m_rounds = Obs.Metrics.counter ~labels "congest_rounds_total";
+    m_messages = Obs.Metrics.counter ~labels "congest_messages_total";
+    m_bits = Obs.Metrics.counter ~labels "congest_bits_total";
+    m_deliveries = Obs.Metrics.counter ~labels "congest_deliveries_total";
+  }
+
+let run ~config (program : 'out Program.t) g =
+  let n = Graph.n g in
+  let limit = Congest.Runtime.bandwidth_bits config ~n in
+  let mx = metrics_for program.Program.name in
+  Obs.Metrics.inc mx.m_runs;
+  let trace = create_trace () in
+  let master_rng = Stdx.Prng.create config.Congest.Runtime.seed in
+  let spawn v =
+    let view =
+      {
+        Program.id = v;
+        n;
+        weight = Graph.weight g v;
+        neighbors = Stdx.Bitset.to_array (Graph.neighbors g v);
+        rng = Stdx.Prng.split master_rng;
+      }
+    in
+    program.Program.spawn view
+  in
+  let instances =
+    let rec build v acc =
+      if v = n then List.rev acc else build (v + 1) (spawn v :: acc)
+    in
+    Array.of_list (build 0 [])
+  in
+  let inboxes : (int * Msg.t) list array = Array.make n [] in
+  let next_inboxes : (int * Msg.t) list array = Array.make n [] in
+  let sent_this_round : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let round = ref 0 in
+  let all_halted () =
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not (instances.(v).Program.halted ()) then ok := false
+    done;
+    !ok
+  in
+  while !round < config.Congest.Runtime.max_rounds && not (all_halted ()) do
+    Hashtbl.reset sent_this_round;
+    Array.fill next_inboxes 0 n [];
+    for v = 0 to n - 1 do
+      let inst = instances.(v) in
+      if not (inst.Program.halted ()) then
+        let outbox = inst.Program.step ~round:!round ~inbox:inboxes.(v) in
+        List.iter
+          (fun (dst, (m : Msg.t)) ->
+            if not (Graph.has_edge g v dst) then
+              raise
+                (Congest.Runtime.Illegal_recipient
+                   { round = !round; src = v; dst });
+            let key = (v, dst) in
+            let already =
+              Option.value ~default:0 (Hashtbl.find_opt sent_this_round key)
+            in
+            let total = already + m.Msg.bits in
+            if total > limit then
+              raise
+                (Congest.Runtime.Bandwidth_exceeded
+                   { round = !round; src = v; dst; bits = total; limit });
+            Hashtbl.replace sent_this_round key total;
+            record_send trace ~round:!round ~src:v ~dst ~bits:m.Msg.bits;
+            Obs.Metrics.inc mx.m_messages;
+            Obs.Metrics.add mx.m_bits m.Msg.bits;
+            Obs.Metrics.inc mx.m_deliveries;
+            next_inboxes.(dst) <- (v, m) :: next_inboxes.(dst))
+          outbox
+    done;
+    for v = 0 to n - 1 do
+      inboxes.(v) <-
+        List.sort (fun (a, _) (b, _) -> compare a b) next_inboxes.(v)
+    done;
+    incr round
+  done;
+  trace.executed_rounds <- !round;
+  Obs.Metrics.add mx.m_rounds !round;
+  {
+    outputs = Array.map (fun inst -> inst.Program.output ()) instances;
+    rounds_executed = !round;
+    all_halted = all_halted ();
+    trace;
+  }

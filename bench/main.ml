@@ -21,6 +21,7 @@ let experiments =
     ("CHAOS", "supervised execution under combined fault plans", Exp_chaos.run);
     ("SERVE", "solve daemon: capabilities + multi-client load", Exp_serve.run);
     ("NETCHAOS", "serving layer under network chaos", Exp_netchaos.run);
+    ("LARGEN", "large-n CSR engine: flood/BFS/Luby + gadget sweep", Exp_largen.run);
   ]
 
 (* Subsets of the umbrella ids, so `-- T2-gap` etc. also work. *)

@@ -1,4 +1,6 @@
 module Graph = Wgraph.Graph
+module Csr = Wgraph.Csr
+module Dynvec = Stdx.Dynvec
 
 exception
   Bandwidth_exceeded of {
@@ -111,8 +113,166 @@ let fault_counter algo kind =
     ~labels:[ ("algo", algo); ("kind", fault_kind_label kind) ]
     "congest_fault_events_total"
 
-let exec ~config (program : 'out Program.t) g trace =
-  let n = Graph.n g in
+(* ------------------------------------------------------------------ *)
+(* Topology abstraction: one executor body serves both graph
+   representations.  [t_neighbors] returns a fresh ascending array (the
+   per-node view owned by the spawned instance). *)
+
+type topo = {
+  t_n : int;
+  t_weight : int -> int;
+  t_neighbors : int -> int array;
+  t_has_edge : int -> int -> bool;
+}
+
+let topo_of_graph g =
+  {
+    t_n = Graph.n g;
+    t_weight = Graph.weight g;
+    t_neighbors = (fun v -> Stdx.Bitset.to_array (Graph.neighbors g v));
+    t_has_edge = Graph.has_edge g;
+  }
+
+let topo_of_csr c =
+  {
+    t_n = Csr.n c;
+    t_weight = Csr.weight c;
+    t_neighbors = Csr.neighbors_array c;
+    t_has_edge = Csr.has_edge c;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Message arena: preallocated structure-of-arrays buffers reused across
+   rounds instead of the historical per-round [next_inboxes] cons lists
+   plus a per-round [List.sort].
+
+   Messages append chronologically into per-destination chains.  The
+   required inbox order is the historical one: ascending sender, ties in
+   reverse chronological order (consing then stable-sorting by sender
+   produced exactly that).  While senders arrive strictly ascending —
+   the common case, since nodes step in ascending order — the chain is
+   already in final order and delivery is a straight copy-out; otherwise
+   the chain is sorted by (src, ord) where [ord] is descending append
+   order for round sends and ascending defer order (before all same-src
+   round sends) for delay-fault arrivals, reproducing the historical
+   order exactly. *)
+
+type arena = {
+  mutable ar_src : int array;
+  mutable ar_ord : int array;
+  mutable ar_msg : Msg.t array;
+  mutable ar_next : int array;
+  mutable ar_used : int;
+  head : int array;  (* per dst; valid when count > 0 *)
+  tail : int array;
+  count : int array;
+  last_src : int array;
+  unsorted : bool array;
+  touched : int Dynvec.t;  (* dsts with a nonempty chain this round *)
+  mutable scratch : int array;  (* chain slots, collected at delivery *)
+}
+
+let arena_create n =
+  {
+    ar_src = [||];
+    ar_ord = [||];
+    ar_msg = [||];
+    ar_next = [||];
+    ar_used = 0;
+    head = Array.make (max n 1) (-1);
+    tail = Array.make (max n 1) (-1);
+    count = Array.make (max n 1) 0;
+    last_src = Array.make (max n 1) (-1);
+    unsorted = Array.make (max n 1) false;
+    touched = Dynvec.create ();
+    scratch = [||];
+  }
+
+let arena_append a ~dst ~src ~ord m =
+  if a.ar_used = Array.length a.ar_src then begin
+    let cap = max 16 (2 * a.ar_used) in
+    let grow_int old =
+      let b = Array.make cap 0 in
+      Array.blit old 0 b 0 a.ar_used;
+      b
+    in
+    a.ar_src <- grow_int a.ar_src;
+    a.ar_ord <- grow_int a.ar_ord;
+    a.ar_next <- grow_int a.ar_next;
+    let msgs = Array.make cap Msg.unit_msg in
+    Array.blit a.ar_msg 0 msgs 0 a.ar_used;
+    a.ar_msg <- msgs
+  end;
+  let slot = a.ar_used in
+  a.ar_used <- slot + 1;
+  a.ar_src.(slot) <- src;
+  a.ar_ord.(slot) <- ord;
+  a.ar_msg.(slot) <- m;
+  a.ar_next.(slot) <- -1;
+  if a.count.(dst) = 0 then begin
+    a.head.(dst) <- slot;
+    a.unsorted.(dst) <- false;
+    Dynvec.push a.touched dst
+  end
+  else begin
+    a.ar_next.(a.tail.(dst)) <- slot;
+    if src <= a.last_src.(dst) then a.unsorted.(dst) <- true
+  end;
+  a.tail.(dst) <- slot;
+  a.last_src.(dst) <- src;
+  a.count.(dst) <- a.count.(dst) + 1
+
+(* Insertion sort of scratch[0, cnt) by (src asc, ord asc): chains only
+   need sorting on the rare fault/multi-send paths, where counts are
+   small. *)
+let sort_slots a cnt =
+  let s = a.scratch and src = a.ar_src and ord = a.ar_ord in
+  for i = 1 to cnt - 1 do
+    let x = s.(i) in
+    let kx_src = src.(x) and kx_ord = ord.(x) in
+    let j = ref (i - 1) in
+    while
+      !j >= 0
+      && (src.(s.(!j)) > kx_src || (src.(s.(!j)) = kx_src && ord.(s.(!j)) > kx_ord))
+    do
+      s.(!j + 1) <- s.(!j);
+      decr j
+    done;
+    s.(!j + 1) <- x
+  done
+
+(* Build dst's inbox list (head = smallest sender) and reset its chain. *)
+let arena_deliver a dst =
+  let cnt = a.count.(dst) in
+  if Array.length a.scratch < cnt then a.scratch <- Array.make (max 16 (2 * cnt)) 0;
+  let slot = ref a.head.(dst) in
+  for i = 0 to cnt - 1 do
+    a.scratch.(i) <- !slot;
+    slot := a.ar_next.(!slot)
+  done;
+  if a.unsorted.(dst) then sort_slots a cnt;
+  let acc = ref [] in
+  for i = cnt - 1 downto 0 do
+    let s = a.scratch.(i) in
+    acc := (a.ar_src.(s), a.ar_msg.(s)) :: !acc
+  done;
+  a.count.(dst) <- 0;
+  !acc
+
+(* Drop message references so the arena doesn't retain the last round's
+   payloads, and rewind. *)
+let arena_reset a =
+  for i = 0 to a.ar_used - 1 do
+    a.ar_msg.(i) <- Msg.unit_msg
+  done;
+  a.ar_used <- 0;
+  Dynvec.clear a.touched
+
+(* ------------------------------------------------------------------ *)
+(* List-mode executor *)
+
+let exec ~config (program : 'out Program.t) topo trace =
+  let n = topo.t_n in
   let limit = bandwidth_bits config ~n in
   let mx = metrics_for program.Program.name in
   Obs.Metrics.inc mx.m_runs;
@@ -131,8 +291,8 @@ let exec ~config (program : 'out Program.t) g trace =
       {
         Program.id = v;
         n;
-        weight = Graph.weight g v;
-        neighbors = Stdx.Bitset.to_array (Graph.neighbors g v);
+        weight = topo.t_weight v;
+        neighbors = topo.t_neighbors v;
         rng = Stdx.Prng.split master_rng;
       }
     in
@@ -168,11 +328,17 @@ let exec ~config (program : 'out Program.t) g trace =
     | None -> Hashtbl.replace delayed at (ref [ (dst, src, m) ])
   in
   (* inboxes.(v) holds the messages delivered to v at the start of the
-     current round, as (sender, msg) pairs. *)
+     current round, as (sender, msg) pairs; [filled] tracks which entries
+     are nonempty so clearing costs O(deliveries), not O(n). *)
   let inboxes : (int * Msg.t) list array = Array.make n [] in
-  let next_inboxes : (int * Msg.t) list array = Array.make n [] in
-  (* per-round, per-directed-edge bit budget bookkeeping *)
-  let sent_this_round : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let filled = Dynvec.create () in
+  let arena = arena_create n in
+  (* Per-round, per-directed-edge bit budget: [bw_used.(dst)] is live for
+     the current (round, src) when stamped with the current token — an
+     O(1) reset replacing the historical hashtable. *)
+  let bw_used = Array.make (max n 1) 0 in
+  let bw_stamp = Array.make (max n 1) (-1) in
+  let token = ref 0 in
   let round = ref 0 in
   let all_halted () =
     let ok = ref true in
@@ -191,8 +357,6 @@ let exec ~config (program : 'out Program.t) g trace =
         record_fault ~round:!round ~src:v ~dst:v ~bits:0 ~kind:Trace.Crashed
       end
     done;
-    Hashtbl.reset sent_this_round;
-    Array.fill next_inboxes 0 n [];
     for v = 0 to n - 1 do
       let inst = instances.(v) in
       if not (crashed.(v) || inst.Program.halted ()) then begin
@@ -200,27 +364,29 @@ let exec ~config (program : 'out Program.t) g trace =
         (match config.mode with
         | Unicast -> ()
         | Broadcast -> check_broadcast_uniform !round v outbox);
+        incr token;
         List.iter
           (fun (dst, (m : Msg.t)) ->
-            if not (Graph.has_edge g v dst) then
+            if not (topo.t_has_edge v dst) then
               raise (Illegal_recipient { round = !round; src = v; dst });
-            let key = (v, dst) in
-            let already =
-              Option.value ~default:0 (Hashtbl.find_opt sent_this_round key)
-            in
-            let total = already + m.Msg.bits in
+            if bw_stamp.(dst) <> !token then begin
+              bw_stamp.(dst) <- !token;
+              bw_used.(dst) <- 0
+            end;
+            let total = bw_used.(dst) + m.Msg.bits in
             if total > limit then
               raise
                 (Bandwidth_exceeded
                    { round = !round; src = v; dst; bits = total; limit });
-            Hashtbl.replace sent_this_round key total;
+            bw_used.(dst) <- total;
+            Trace.observe_edge_total trace total;
             Trace.record_send trace ~round:!round ~src:v ~dst ~bits:m.Msg.bits;
             Obs.Metrics.inc mx.m_messages;
             Obs.Metrics.add mx.m_bits m.Msg.bits;
             match injector with
             | None ->
                 Obs.Metrics.inc mx.m_deliveries;
-                next_inboxes.(dst) <- (v, m) :: next_inboxes.(dst)
+                arena_append arena ~dst ~src:v ~ord:(- arena.ar_used) m
             | Some inj ->
                 let deliveries, events = Faults.apply inj ~src:v ~dst m in
                 List.iter
@@ -232,26 +398,33 @@ let exec ~config (program : 'out Program.t) g trace =
                   (fun (d, m') ->
                     Obs.Metrics.inc mx.m_deliveries;
                     if d = 0 then
-                      next_inboxes.(dst) <- (v, m') :: next_inboxes.(dst)
+                      arena_append arena ~dst ~src:v ~ord:(- arena.ar_used) m'
                     else defer ~at:(!round + 1 + d) ~src:v ~dst m')
                   deliveries)
           outbox
       end
     done;
-    (* Delay faults scheduled for the next round's inboxes join now. *)
+    (* Delay faults scheduled for the next round's inboxes join now, in
+       forward defer order and keyed to sort before this round's same-src
+       sends — where consing placed them historically. *)
     (match Hashtbl.find_opt delayed (!round + 1) with
     | None -> ()
     | Some l ->
-        List.iter
-          (fun (dst, src, m) ->
-            next_inboxes.(dst) <- (src, m) :: next_inboxes.(dst))
-          !l;
+        List.iteri
+          (fun j (dst, src, m) ->
+            arena_append arena ~dst ~src ~ord:(min_int + j) m)
+          (List.rev !l);
         Hashtbl.remove delayed (!round + 1));
-    (* Deliver: keep sender order deterministic (ascending sender id). *)
-    for v = 0 to n - 1 do
-      inboxes.(v) <-
-        List.sort (fun (a, _) (b, _) -> compare a b) next_inboxes.(v)
-    done;
+    (* Deliver: clear the previous round's inboxes, then copy each
+       touched chain out in sender order. *)
+    Dynvec.iter (fun v -> inboxes.(v) <- []) filled;
+    Dynvec.clear filled;
+    Dynvec.iter
+      (fun dst ->
+        inboxes.(dst) <- arena_deliver arena dst;
+        Dynvec.push filled dst)
+      arena.touched;
+    arena_reset arena;
     incr round
   done;
   Trace.set_rounds trace !round;
@@ -264,16 +437,219 @@ let exec ~config (program : 'out Program.t) g trace =
     trace;
   }
 
-let run ?(config = default_config) (program : 'out Program.t) g =
-  exec ~config program g (Trace.create ())
+let make_trace = function Some t -> t | None -> Trace.create ()
 
-let run_checked ?(config = default_config) (program : 'out Program.t) g =
-  let trace = Trace.create () in
-  match exec ~config program g trace with
+let run ?(config = default_config) ?trace (program : 'out Program.t) g =
+  exec ~config program (topo_of_graph g) (make_trace trace)
+
+let run_csr ?(config = default_config) ?trace (program : 'out Program.t) c =
+  exec ~config program (topo_of_csr c) (make_trace trace)
+
+let checked body trace =
+  match body trace with
   | result -> Ok result
   | exception Bandwidth_exceeded { round; src; dst; bits; limit } ->
-      Error { round; src; reason = Oversend { dst; bits; limit }; trace_prefix = trace }
+      Error
+        {
+          round;
+          src;
+          reason = Oversend { dst; bits; limit };
+          trace_prefix = trace;
+        }
   | exception Illegal_recipient { round; src; dst } ->
       Error { round; src; reason = Non_neighbor { dst }; trace_prefix = trace }
   | exception Non_uniform_broadcast { round; src } ->
       Error { round; src; reason = Broadcast_mismatch; trace_prefix = trace }
+
+let run_checked ?(config = default_config) ?trace (program : 'out Program.t) g
+    =
+  checked (exec ~config program (topo_of_graph g)) (make_trace trace)
+
+let run_csr_checked ?(config = default_config) ?trace
+    (program : 'out Program.t) c =
+  checked (exec ~config program (topo_of_csr c)) (make_trace trace)
+
+(* ------------------------------------------------------------------ *)
+(* Flat executor: the zero-allocation hot path for [Fastpath] programs.
+   No cons lists, no tuples, no [Msg.t] on the per-round path — messages
+   live in preallocated int buffers, counting-sorted into one shared
+   delivery arena per round.  Fault plans and [Broadcast] mode keep to
+   the list-mode executor. *)
+
+let run_flat ?(config = default_config) ?trace (fp : 'out Fastpath.t) c =
+  (match config.faults with
+  | Some _ ->
+      invalid_arg "Runtime.run_flat: fault plans need the list-mode runtime"
+  | None -> ());
+  if config.mode = Broadcast then
+    invalid_arg "Runtime.run_flat: Broadcast mode needs the list-mode runtime";
+  let trace = make_trace trace in
+  let n = Csr.n c in
+  let limit = bandwidth_bits config ~n in
+  let mx = metrics_for fp.Fastpath.fname in
+  Obs.Metrics.inc mx.m_runs;
+  let master_rng = Stdx.Prng.create config.seed in
+  (* Same spawn order and PRNG splitting as the list-mode executor, so a
+     faithful flat port is output-identical under any seed. *)
+  let spawn v =
+    let view =
+      {
+        Program.id = v;
+        n;
+        weight = Csr.weight c v;
+        neighbors = Csr.neighbors_array c v;
+        rng = Stdx.Prng.split master_rng;
+      }
+    in
+    fp.Fastpath.fspawn view
+  in
+  let instances =
+    let rec build v acc =
+      if v = n then List.rev acc else build (v + 1) (spawn v :: acc)
+    in
+    Array.of_list (build 0 [])
+  in
+  (* Delivery is a per-round counting sort into one shared arena: sends
+     are appended sequentially to [stage] as (dst, src, tag, word) quads
+     while [counts] tallies per-destination totals; at round end a
+     prefix sum turns the tallies into arena windows and one scatter
+     pass groups the triples by destination.  Every node then reads its
+     messages through the single reused [view] — no per-node inbox
+     structures exist at all, and the only random memory access per
+     message is the one arena write (measurably faster than scattering
+     into 2n per-node buffers, and O(n + messages) memory instead of 2n
+     growable buffers at n = 10⁶). *)
+  let stage = ref [||] in
+  let stage_len = ref 0 in
+  let arena = ref [||] in
+  let counts = Array.make (max n 1) 0 in
+  let offs = Array.make (max n 1 + 1) 0 in
+  let cursor = Array.make (max n 1) 0 in
+  let view = Fastpath.make_inbox () in
+  let em = Fastpath.make_emitter () in
+  (* Per-destination bookkeeping, packed two-to-a-slot so each send
+     touches one cache line: [book.(2d)] is the (sender, round) token
+     stamped while marking the sender's CSR row — neighbor validation is
+     then one read instead of a [has_edge] binary search — and
+     [book.(2d+1)] the bits already sent to [d] this round, reset by the
+     same marking pass.  Marking work per round is O(Σ deg), the order
+     of the messages a full-rate round carries. *)
+  let book = Array.make (2 * max n 1) (-1) in
+  let token = ref 0 in
+  (* One closure for the whole run — allocating it per node-round would
+     show up in the perf guard. *)
+  let mark u =
+    book.(2 * u) <- !token;
+    book.((2 * u) + 1) <- 0
+  in
+  let round = ref 0 in
+  (* Metric totals are flushed once per run, not per send: three atomic
+     bumps per message would dominate the otherwise allocation-free send
+     path.  Every delivery succeeds here (no fault plans), so messages
+     and deliveries share one counter.  [edge_obs] likewise keeps the
+     running per-(edge, round) maximum out of the per-send path. *)
+  let sent = ref 0 in
+  let sent_bits = ref 0 in
+  let edge_obs = ref 0 in
+  let all_halted () =
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not (instances.(v).Fastpath.fhalted ()) then ok := false
+    done;
+    !ok
+  in
+  while !round < config.max_rounds && not (all_halted ()) do
+    Array.fill counts 0 (Array.length counts) 0;
+    stage_len := 0;
+    for v = 0 to n - 1 do
+      let inst = instances.(v) in
+      if not (inst.Fastpath.fhalted ()) then begin
+        (* [offs] holds the previous round's windows (all zero before the
+           first round, i.e. empty inboxes); re-aim the shared view since
+           the arena array may have been replaced by growth. *)
+        view.Fastpath.i_buf <- !arena;
+        view.Fastpath.i_off <- Array.unsafe_get offs v;
+        view.Fastpath.i_len <- Array.unsafe_get offs (v + 1) - view.Fastpath.i_off;
+        em.Fastpath.e_len <- 0;
+        inst.Fastpath.fstep ~round:!round ~inbox:view em;
+        if em.Fastpath.e_len > 0 then begin
+          incr token;
+          Csr.iter_neighbors mark c v
+        end;
+        (* Unsafe reads/writes here are in range by construction: [k] is
+           below the emitter's grown length, and [dst] is range-checked
+           before indexing the n-sized bookkeeping arrays. *)
+        let e_dst = em.Fastpath.e_dst
+        and e_tag = em.Fastpath.e_tag
+        and e_bits = em.Fastpath.e_bits
+        and e_word = em.Fastpath.e_word in
+        for k = 0 to em.Fastpath.e_len - 1 do
+          let dst = Array.unsafe_get e_dst k in
+          if
+            dst < 0 || dst >= n
+            || Array.unsafe_get book (2 * dst) <> !token
+          then raise (Illegal_recipient { round = !round; src = v; dst });
+          let bits = Array.unsafe_get e_bits k in
+          let total = Array.unsafe_get book ((2 * dst) + 1) + bits in
+          if total > limit then
+            raise
+              (Bandwidth_exceeded
+                 { round = !round; src = v; dst; bits = total; limit });
+          Array.unsafe_set book ((2 * dst) + 1) total;
+          if total > !edge_obs then edge_obs := total;
+          Trace.record_send trace ~round:!round ~src:v ~dst ~bits;
+          sent := !sent + 1;
+          sent_bits := !sent_bits + bits;
+          let base = 4 * !stage_len in
+          if base = Array.length !stage then
+            stage := Fastpath.grow4 !stage base;
+          let s = !stage in
+          Array.unsafe_set s base dst;
+          Array.unsafe_set s (base + 1) v;
+          Array.unsafe_set s (base + 2) (Array.unsafe_get e_tag k);
+          Array.unsafe_set s (base + 3) (Array.unsafe_get e_word k);
+          incr stage_len;
+          Array.unsafe_set counts dst (Array.unsafe_get counts dst + 1)
+        done
+      end
+    done;
+    (* Counting-sort scatter: prefix-sum the tallies into windows, then
+       group this round's triples by destination.  Staging order is
+       (src asc, emit order), so within each window delivery order is
+       exactly what per-node buffers produced. *)
+    let total = !stage_len in
+    let acc = ref 0 in
+    for v = 0 to n - 1 do
+      offs.(v) <- !acc;
+      cursor.(v) <- !acc;
+      acc := !acc + counts.(v)
+    done;
+    offs.(n) <- !acc;
+    if 3 * total > Array.length !arena then
+      arena := Array.make (max 24 (2 * (3 * total))) 0;
+    let a = !arena and s = !stage in
+    for i = 0 to total - 1 do
+      let q = 4 * i in
+      let dst = Array.unsafe_get s q in
+      let pos = Array.unsafe_get cursor dst in
+      Array.unsafe_set cursor dst (pos + 1);
+      let b = 3 * pos in
+      Array.unsafe_set a b (Array.unsafe_get s (q + 1));
+      Array.unsafe_set a (b + 1) (Array.unsafe_get s (q + 2));
+      Array.unsafe_set a (b + 2) (Array.unsafe_get s (q + 3))
+    done;
+    incr round
+  done;
+  Trace.set_rounds trace !round;
+  Trace.observe_edge_total trace !edge_obs;
+  Obs.Metrics.add mx.m_rounds !round;
+  Obs.Metrics.add mx.m_messages !sent;
+  Obs.Metrics.add mx.m_bits !sent_bits;
+  Obs.Metrics.add mx.m_deliveries !sent;
+  {
+    outputs = Array.map (fun inst -> inst.Fastpath.foutput ()) instances;
+    rounds_executed = !round;
+    all_halted = all_halted ();
+    crashed = Array.make n false;
+    trace;
+  }

@@ -11,7 +11,15 @@
     seeded fault plan at delivery time (drop/duplicate/corrupt/delay) and
     scheduled nodes crash-stop; every injected event is recorded in the
     trace alongside the sends, and the whole faulty execution is exactly
-    replayable from [(config, plan)]. *)
+    replayable from [(config, plan)].
+
+    The executor is representation-agnostic: {!run} takes the bitset
+    {!Wgraph.Graph.t}, {!run_csr} the compressed {!Wgraph.Csr.t}, and both
+    drive one shared round loop over preallocated arena message buffers
+    (docs/PERF.md describes the arena lifecycle).  Identical graphs
+    produce identical executions — same outputs, same trace digests —
+    whichever representation carries them.  {!run_flat} executes the
+    allocation-free {!Fastpath} program form for large-n sweeps. *)
 
 exception Bandwidth_exceeded of { round : int; src : int; dst : int; bits : int; limit : int }
 exception Illegal_recipient of { round : int; src : int; dst : int }
@@ -69,17 +77,63 @@ val pp_failure : Format.formatter -> failure -> unit
 val bandwidth_bits : config -> n:int -> int
 (** The per-(edge, round, direction) bit budget. *)
 
-val run : ?config:config -> 'out Program.t -> Wgraph.Graph.t -> 'out result
+(** {1 Execution}
+
+    All entry points accept [?trace] to record into a caller-constructed
+    trace — a {!Trace.Light} one for large-n sweeps, or one with a
+    registered cut for O(1) blackboard accounting.  Default: a fresh
+    [Full] trace, preserving the historical behavior (including digest
+    values) exactly. *)
+
+val run :
+  ?config:config ->
+  ?trace:Trace.t ->
+  'out Program.t ->
+  Wgraph.Graph.t ->
+  'out result
 (** Raises {!Bandwidth_exceeded} when a node oversends,
     {!Illegal_recipient} when it addresses a non-neighbor, and
     {!Non_uniform_broadcast} when [mode = Broadcast] and a node sends
     unequal messages in one round. *)
 
+val run_csr :
+  ?config:config ->
+  ?trace:Trace.t ->
+  'out Program.t ->
+  Wgraph.Csr.t ->
+  'out result
+(** {!run} on the CSR representation: same executor, same semantics —
+    [run_csr p (Csr.of_graph g)] and [run p g] produce identical results
+    and traces under any config. *)
+
 val run_checked :
   ?config:config ->
+  ?trace:Trace.t ->
   'out Program.t ->
   Wgraph.Graph.t ->
   ('out result, failure) Stdlib.result
 (** Like {!run} but no model violation escapes as an exception: the
     [Error] carries round/src/dst context and the trace prefix, so drivers
     can report and continue instead of crashing. *)
+
+val run_csr_checked :
+  ?config:config ->
+  ?trace:Trace.t ->
+  'out Program.t ->
+  Wgraph.Csr.t ->
+  ('out result, failure) Stdlib.result
+
+val run_flat :
+  ?config:config ->
+  ?trace:Trace.t ->
+  'out Fastpath.t ->
+  Wgraph.Csr.t ->
+  'out result
+(** The zero-allocation hot path: executes a flat program over
+    preallocated int message buffers — no cons cells, tuples or [Msg.t]
+    records per round (test/test_perf_guard.ml pins the per-round
+    allocation ceiling).  Spawn order and PRNG splitting match the
+    list-mode executors, so faithful flat ports are output-identical.
+    Raises [Invalid_argument] if [config.faults] is set or
+    [config.mode = Broadcast] — adversarial runs keep to the list-mode
+    executor. *)

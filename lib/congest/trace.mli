@@ -10,9 +10,22 @@
     records every injected event (drop, duplication, corruption, delay,
     crash) alongside the sends, so {e attempted} traffic (what Theorem 5's
     [T·|cut|·B] cap bounds) and {e delivered} traffic (what actually
-    reached the inboxes) can be metered separately. *)
+    reached the inboxes) can be metered separately.
+
+    {b Streaming accumulation.}  Every aggregate that does not depend on a
+    post-hoc partition — round counts, total/per-round bits and messages,
+    per-kind fault bits — is maintained as a running scalar updated in
+    O(1) per recorded event; queries read the accumulator, never fold the
+    log.  Partition-shaped queries are also O(1) when the partition is
+    registered at {!create} time (the player cut always is), and fall back
+    to a fold over the retained log otherwise.  In {!Light} mode the log
+    is not retained at all: memory stays O(rounds + cut sides) regardless
+    of message volume, which is what lets the LARGEN bench run n = 10⁵–10⁶
+    sweeps, and the few genuinely log-shaped queries raise. *)
 
 type t
+
+type send = { round : int; src : int; dst : int; bits : int }
 
 (** How an injected fault perturbed a recorded send (or, for [Crashed], a
     node). *)
@@ -25,7 +38,29 @@ type fault_kind =
 
 type fault = { round : int; src : int; dst : int; bits : int; kind : fault_kind }
 
-val create : unit -> t
+type mode =
+  | Full
+      (** Retain the complete send/fault log (structure-of-arrays, four
+          int vectors) alongside the streamed aggregates.  Every query
+          below is available, and {!digest} equals the historical
+          replay-digest values.  The default. *)
+  | Light
+      (** Streamed aggregates only; the log is discarded as it is
+          recorded.  O(rounds) memory at any message volume.  Queries
+          that need the log ({!send_events}, {!fault_events},
+          {!iter_sends}, {!bits_on_edge}, and cut queries for a partition
+          other than the registered one) raise [Invalid_argument]. *)
+
+val create : ?mode:mode -> ?cut:int array -> unit -> t
+(** [create ()] is a [Full] trace with no registered cut — drop-in for
+    the historical [create].  [~cut:part] registers the node partition
+    whose crossing traffic should be streamed: subsequent [cut_*] queries
+    against that same partition are O(1) reads and work in [Light] mode.
+    The array is captured, not copied; don't mutate it mid-run. *)
+
+val mode : t -> mode
+
+val registered_cut : t -> int array option
 
 val record_send : t -> round:int -> src:int -> dst:int -> bits:int -> unit
 
@@ -33,6 +68,11 @@ val record_fault :
   t -> round:int -> src:int -> dst:int -> bits:int -> kind:fault_kind -> unit
 (** Recorded by the runtime for every injected event; [bits] is the size of
     the affected message (0 for [Crashed]). *)
+
+val observe_edge_total : t -> int -> unit
+(** The runtime reports each per-(round, directed edge) running total it
+    already tracks for bandwidth enforcement; the trace keeps the max so
+    {!max_bits_per_edge_round} works without the log in [Light] mode. *)
 
 val rounds : t -> int
 (** Number of rounds that sent or could have sent messages (1 + highest
@@ -47,20 +87,21 @@ val total_bits : t -> int
 
 val bits_in_round : t -> int -> int
 val messages_in_round : t -> int -> int
+(** O(1) reads of the streamed per-round accumulators (0 outside the
+    recorded range). *)
 
 val bits_on_edge : t -> src:int -> dst:int -> int
-(** Directed accumulation over the whole run.
-
-    [bits_in_round], [messages_in_round] and [bits_on_edge] are served from
-    a per-round/per-edge index built lazily on first query and invalidated
-    on mutation, so repeated queries cost O(1) instead of O(|sends|). *)
+(** Directed accumulation over the whole run, served from a per-edge
+    index built lazily on first query and maintained incrementally by
+    later {!record_send}s.  Needs the log: raises in [Light] mode. *)
 
 val cut_bits : t -> int array -> int
 (** [cut_bits tr part] is the number of bits sent on edges whose endpoints
     lie in different parts — the blackboard cost of simulating the run in
     the multi-party model.  This counts {e attempted} sends: Theorem 5's
     cap bounds what the algorithm emits, whether or not an adversarial
-    link then dropped it. *)
+    link then dropped it.  O(1) when [part] is the registered cut;
+    otherwise a fold over the log ([Full] mode only). *)
 
 val cut_messages : t -> int array -> int
 
@@ -78,14 +119,28 @@ val cut_bits_by_round : t -> int array -> int array
 val max_bits_per_edge_round : t -> int
 (** The largest per-(round, directed edge) total — must be at most the
     configured bandwidth (the runtime enforces it; the trace re-derives it
-    for tests). *)
+    for tests).  In [Light] mode this reads the {!observe_edge_total}
+    maximum instead of re-deriving. *)
+
+(** {1 The send log} *)
+
+val iter_sends :
+  t -> (round:int -> src:int -> dst:int -> bits:int -> unit) -> unit
+(** Every recorded send in recording order, without materializing
+    records.  Raises in [Light] mode. *)
+
+val send_events : t -> send array
+(** All recorded sends in recording order (a fresh copy).  Raises in
+    [Light] mode.  This is what the golden tests fold over to check the
+    streamed accumulators. *)
 
 (** {1 Injected-fault accounting} *)
 
 val total_faults : t -> int
 
 val fault_events : t -> fault array
-(** All injected events in recording order (a copy). *)
+(** All injected events in recording order (a copy).  Raises in [Light]
+    mode. *)
 
 val faults_in_round : t -> int -> int
 
@@ -114,6 +169,8 @@ val digest : t -> int64
 (** A deterministic digest over the executed round count, every recorded
     send and every injected event.  Two runs with identical
     [(config, plan)] produce identical digests — the replay guarantee the
-    fault layer is tested against. *)
+    fault layer is tested against.  [Full] traces produce the historical
+    fold-based values; [Light] traces stream an equivalent (but
+    numerically different) digest as events arrive. *)
 
 val pp : Format.formatter -> t -> unit

@@ -32,6 +32,55 @@ let fixed p =
   in
   (g, partition)
 
+(* CSR construction path: same node layout, same edge set, built without
+   the n²-bit adjacency matrix so Theorem-1 sweeps reach n in the 10⁵–10⁶
+   range. *)
+
+let connect_copies_csr p b =
+  let module B = Wgraph.Csr.Builder in
+  let t = p.Params.players in
+  for i = 0 to t - 1 do
+    for j = i + 1 to t - 1 do
+      for h = 0 to Params.positions p - 1 do
+        let xs = Base_graph.code_clique p ~offset:(copy_offset p i) ~h in
+        let ys = Base_graph.code_clique p ~offset:(copy_offset p j) ~h in
+        let q = Array.length xs in
+        for a = 0 to q - 1 do
+          for c = 0 to q - 1 do
+            if a <> c then B.add_edge b xs.(a) ys.(c)
+          done
+        done
+      done
+    done
+  done
+
+let fixed_csr ?(labels = false) p =
+  let b = Wgraph.Csr.Builder.create (n_nodes p) in
+  for i = 0 to p.Params.players - 1 do
+    Base_graph.build_csr_into ~labels p b ~offset:(copy_offset p i)
+      ~copy_name:(Printf.sprintf "^%d" (i + 1))
+  done;
+  connect_copies_csr p b;
+  let partition =
+    Array.init (n_nodes p) (fun v -> v / Base_graph.copy_size p)
+  in
+  (Wgraph.Csr.Builder.finish b, partition)
+
+let instance_csr p x =
+  if Inputs.t_players x <> p.Params.players then
+    invalid_arg "Linear_family.instance_csr: wrong number of players";
+  if x.Inputs.k <> Params.k p then
+    invalid_arg "Linear_family.instance_csr: wrong string length";
+  let g, partition = fixed_csr p in
+  let size = Base_graph.copy_size p in
+  let weight_of v =
+    let i = v / size in
+    match Base_graph.node_kind p ~offset:(i * size) v with
+    | `A m -> if Inputs.bit x ~player:i m then Params.ell p else 1
+    | `Sigma _ -> 1
+  in
+  (Wgraph.Csr.reweight g weight_of, partition)
+
 let instance p x =
   if Inputs.t_players x <> p.Params.players then
     invalid_arg "Linear_family.instance: wrong number of players";

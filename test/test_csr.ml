@@ -1,0 +1,300 @@
+(* Differential battery for the CSR graph core and the large-n engine:
+   Csr ≡ Graph property-by-property, exact-solver parity across the
+   representations, and run ≡ run_csr ≡ run_flat executor parity. *)
+
+module Graph = Wgraph.Graph
+module Csr = Wgraph.Csr
+module Build = Wgraph.Build
+module Bitset = Stdx.Bitset
+module Prng = Stdx.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_graph seed nn =
+  let n = 1 + (nn mod 40) in
+  let rng = Prng.create (Hashtbl.hash (seed, nn, "csr")) in
+  let g = Build.erdos_renyi rng n 0.3 in
+  Build.random_weights rng g 9;
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Builder semantics *)
+
+let test_builder_basics () =
+  let b = Csr.Builder.create ~default_weight:3 4 in
+  Csr.Builder.add_edge b 0 1;
+  Csr.Builder.add_edge b 1 0;
+  (* duplicate *)
+  Csr.Builder.add_edge b 0 1;
+  Csr.Builder.add_edge b 2 1;
+  Csr.Builder.set_weight b 2 7;
+  Csr.Builder.set_label b 2 "two";
+  let c = Csr.Builder.finish b in
+  check_int "n" 4 (Csr.n c);
+  check_int "edges deduped" 2 (Csr.edge_count c);
+  check "has 0-1" true (Csr.has_edge c 0 1);
+  check "symmetric" true (Csr.has_edge c 1 0);
+  check "no 0-2" false (Csr.has_edge c 0 2);
+  check_int "degree 1" 2 (Csr.degree c 1);
+  check_int "degree 3" 0 (Csr.degree c 3);
+  check_int "default weight" 3 (Csr.weight c 0);
+  check_int "set weight" 7 (Csr.weight c 2);
+  Alcotest.(check string) "label set" "two" (Csr.label c 2);
+  Alcotest.(check string) "label default" "0" (Csr.label c 0)
+
+let test_builder_errors () =
+  let b = Csr.Builder.create 3 in
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Csr.Builder.add_edge: self-loop") (fun () ->
+      Csr.Builder.add_edge b 1 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Csr.Builder: node 3 out of range [0, 3)") (fun () ->
+      Csr.Builder.add_edge b 0 3);
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Csr.Builder.set_weight: negative weight") (fun () ->
+      Csr.Builder.set_weight b 0 (-1))
+
+let test_builder_snapshot () =
+  let b = Csr.Builder.create 3 in
+  Csr.Builder.add_edge b 0 1;
+  let c1 = Csr.Builder.finish b in
+  Csr.Builder.add_edge b 1 2;
+  let c2 = Csr.Builder.finish b in
+  check_int "snapshot unchanged" 1 (Csr.edge_count c1);
+  check_int "later finish sees more" 2 (Csr.edge_count c2)
+
+let test_reweight () =
+  let b = Csr.Builder.create 3 in
+  Csr.Builder.add_edge b 0 1;
+  let c = Csr.Builder.finish b in
+  let c' = Csr.reweight c (fun v -> 10 + v) in
+  check_int "new weight" 12 (Csr.weight c' 2);
+  check_int "original untouched" 1 (Csr.weight c 2);
+  check "edges shared" true (Csr.has_edge c' 0 1);
+  check "equal ignores nothing: weights differ" false (Csr.equal c c')
+
+(* ------------------------------------------------------------------ *)
+(* Csr ≡ Graph differential properties *)
+
+let conversion_matches =
+  QCheck.Test.make ~name:"of_graph matches Graph property-by-property"
+    ~count:120
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      let g = random_graph seed nn in
+      let c = Csr.of_graph g in
+      let n = Graph.n g in
+      Csr.n c = n
+      && Csr.edge_count c = Graph.edge_count g
+      && Csr.max_degree c = Graph.max_degree g
+      && Csr.total_weight c = Graph.total_weight g
+      && List.for_all
+           (fun v ->
+             Csr.degree c v = Graph.degree g v
+             && Csr.weight c v = Graph.weight g v
+             && Csr.label c v = Graph.label g v
+             && Csr.neighbors_array c v
+                = Bitset.to_array (Graph.neighbors g v)
+             && List.for_all
+                  (fun u -> u = v || Csr.has_edge c v u = Graph.has_edge g v u)
+                  (List.init n Fun.id))
+           (List.init n Fun.id))
+
+let round_trip =
+  QCheck.Test.make ~name:"to_graph (of_graph g) = g (weights and labels)"
+    ~count:120
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      let g = random_graph seed nn in
+      let g' = Csr.to_graph (Csr.of_graph g) in
+      Graph.equal g g'
+      && List.for_all
+           (fun v -> Graph.label g v = Graph.label g' v)
+           (List.init (Graph.n g) Fun.id))
+
+let builder_equals_of_graph =
+  QCheck.Test.make ~name:"Builder over the edge list = of_graph" ~count:120
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      let g = random_graph seed nn in
+      let b = Csr.Builder.create (Graph.n g) in
+      (* insert in reverse with duplicates to exercise sort + dedup *)
+      let edges = Graph.edges g in
+      List.iter (fun (u, v) -> Csr.Builder.add_edge b v u) (List.rev edges);
+      List.iter (fun (u, v) -> Csr.Builder.add_edge b u v) edges;
+      for v = 0 to Graph.n g - 1 do
+        Csr.Builder.set_weight b v (Graph.weight g v)
+      done;
+      Csr.equal (Csr.Builder.finish b) (Csr.of_graph g))
+
+let set_weight_of_matches =
+  QCheck.Test.make ~name:"set_weight_of matches Graph" ~count:60
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      let g = random_graph seed nn in
+      let c = Csr.of_graph g in
+      let rng = Prng.create (Hashtbl.hash (nn, seed)) in
+      let s = Bitset.create (Graph.n g) in
+      for v = 0 to Graph.n g - 1 do
+        if Prng.bool rng then Bitset.add s v
+      done;
+      Csr.set_weight_of c s = Graph.set_weight_of g s)
+
+(* ------------------------------------------------------------------ *)
+(* Exact-solver parity across representations *)
+
+let solver_parity =
+  QCheck.Test.make ~name:"Mis.Exact.solve parity on <=14-vertex graphs"
+    ~count:80
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      let n = 1 + (nn mod 14) in
+      let rng = Prng.create (Hashtbl.hash (seed, nn, "mis")) in
+      let g = Build.erdos_renyi rng n 0.4 in
+      Build.random_weights rng g 7;
+      let direct = (Mis.Exact.solve g).Mis.Exact.weight in
+      let via_csr =
+        (Mis.Exact.solve (Csr.to_graph (Csr.of_graph g))).Mis.Exact.weight
+      in
+      direct = via_csr)
+
+(* ------------------------------------------------------------------ *)
+(* Executor parity: run ≡ run_csr ≡ run_flat *)
+
+let trace_summary t =
+  ( Congest.Trace.rounds t,
+    Congest.Trace.total_messages t,
+    Congest.Trace.total_bits t,
+    Congest.Trace.digest t )
+
+let run_all_three (type a) (prog : a Congest.Program.t)
+    (fp : a Congest.Fastpath.t) g =
+  let c = Csr.of_graph g in
+  let r1 = Congest.Runtime.run prog g in
+  let r2 = Congest.Runtime.run_csr prog c in
+  let r3 = Congest.Runtime.run_flat fp c in
+  let same_results (a : a Congest.Runtime.result)
+      (b : a Congest.Runtime.result) =
+    a.Congest.Runtime.outputs = b.Congest.Runtime.outputs
+    && a.Congest.Runtime.rounds_executed = b.Congest.Runtime.rounds_executed
+    && a.Congest.Runtime.all_halted = b.Congest.Runtime.all_halted
+    && trace_summary a.Congest.Runtime.trace
+       = trace_summary b.Congest.Runtime.trace
+  in
+  same_results r1 r2 && same_results r1 r3
+
+let flood_parity =
+  QCheck.Test.make ~name:"flood: run = run_csr = run_flat" ~count:60
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      let g = random_graph seed nn in
+      run_all_three
+        (Congest.Algo_flood.max_id ~rounds:12)
+        (Congest.Fastpath.max_id ~rounds:12)
+        g)
+
+let bfs_parity =
+  QCheck.Test.make ~name:"bfs: run = run_csr = run_flat" ~count:60
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      let g = random_graph seed nn in
+      run_all_three
+        (Congest.Algo_bfs.distances ~root:0 ~rounds:12)
+        (Congest.Fastpath.bfs_distances ~root:0 ~rounds:12)
+        g)
+
+let luby_parity =
+  QCheck.Test.make ~name:"luby: run = run_csr = run_flat (incl. PRNG draws)"
+    ~count:60
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      let g = random_graph seed nn in
+      run_all_three Congest.Algo_luby.mis Congest.Fastpath.luby_mis g)
+
+let test_flat_rejects () =
+  let g = Build.path 4 in
+  let c = Csr.of_graph g in
+  let fp = Congest.Fastpath.max_id ~rounds:4 in
+  (try
+     ignore
+       (Congest.Runtime.run_flat
+          ~config:
+            {
+              Congest.Runtime.default_config with
+              Congest.Runtime.mode = Congest.Runtime.Broadcast;
+            }
+          fp c);
+     Alcotest.fail "broadcast accepted"
+   with Invalid_argument _ -> ());
+  let plan =
+    Congest.Faults.plan ~default:(Congest.Faults.link ~drop:0.5 ()) 1
+  in
+  try
+    ignore
+      (Congest.Runtime.run_flat
+         ~config:
+           { Congest.Runtime.default_config with Congest.Runtime.faults = Some plan }
+         fp c);
+    Alcotest.fail "faults accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Gadget construction parity *)
+
+let test_linear_csr_matches () =
+  let p = Maxis_core.Params.figure_params ~players:3 in
+  let g, part = Maxis_core.Linear_family.fixed p in
+  let c, part' = Maxis_core.Linear_family.fixed_csr p in
+  check "fixed_csr = of_graph fixed" true (Csr.equal c (Csr.of_graph g));
+  check "partitions equal" true (part = part')
+
+let test_linear_instance_csr_matches () =
+  let p = Maxis_core.Params.figure_params ~players:2 in
+  let x =
+    Commcx.Inputs.gen_promise (Prng.create 7) ~k:(Maxis_core.Params.k p) ~t:2
+      ~intersecting:false
+  in
+  let inst = Maxis_core.Linear_family.instance p x in
+  let c, part = Maxis_core.Linear_family.instance_csr p x in
+  check "structure" true
+    (Csr.equal (Csr.reweight c (fun _ -> 1))
+       (Csr.reweight (Csr.of_graph inst.Maxis_core.Family.graph) (fun _ -> 1)));
+  check "partition" true (part = inst.Maxis_core.Family.partition);
+  let ok = ref true in
+  for v = 0 to Csr.n c - 1 do
+    if Csr.weight c v <> Graph.weight inst.Maxis_core.Family.graph v then
+      ok := false
+  done;
+  check "weights" true !ok
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "csr"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "basics" `Quick test_builder_basics;
+          Alcotest.test_case "errors" `Quick test_builder_errors;
+          Alcotest.test_case "snapshot" `Quick test_builder_snapshot;
+          Alcotest.test_case "reweight" `Quick test_reweight;
+        ] );
+      qsuite "differential"
+        [
+          conversion_matches;
+          round_trip;
+          builder_equals_of_graph;
+          set_weight_of_matches;
+          solver_parity;
+        ];
+      qsuite "executors" [ flood_parity; bfs_parity; luby_parity ];
+      ( "executors-edge",
+        [ Alcotest.test_case "run_flat rejects" `Quick test_flat_rejects ] );
+      ( "gadgets",
+        [
+          Alcotest.test_case "fixed_csr" `Quick test_linear_csr_matches;
+          Alcotest.test_case "instance_csr" `Quick
+            test_linear_instance_csr_matches;
+        ] );
+    ]

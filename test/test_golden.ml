@@ -136,6 +136,201 @@ let test_blackboard_metric_matches_report () =
         report.Maxis_core.Simulation.blackboard_bits
         (int_of_float s.M.sum)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming-trace parity: the trace's O(1) accumulators (the single
+   source of truth since the arena rewrite) must agree exactly with a
+   fold over the full recorded send log, and a Light-mode trace of the
+   same run must agree with the Full one on every streamed query. *)
+
+let sparse_random_graph ~seed n =
+  let g = Wgraph.Graph.create n in
+  let rng = Stdx.Prng.create seed in
+  for v = 0 to n - 1 do
+    for _ = 1 to 3 do
+      let u = Stdx.Prng.int rng n in
+      if u <> v then Wgraph.Graph.add_edge g v u
+    done
+  done;
+  g
+
+let halves n = Array.init n (fun v -> if 2 * v < n then 0 else 1)
+
+let streaming_parity_cell gname g (P program) () =
+  let n = Wgraph.Graph.n g in
+  let part = halves n in
+  let full = Congest.Trace.create ~cut:part () in
+  ignore (Congest.Runtime.run ~trace:full program g);
+  let sends = Congest.Trace.send_events full in
+  let fold f init = Array.fold_left f init sends in
+  (* Scalar accumulators vs the log. *)
+  check_int "total_messages" (Array.length sends)
+    (Congest.Trace.total_messages full);
+  check_int "total_bits"
+    (fold (fun acc (s : Congest.Trace.send) -> acc + s.Congest.Trace.bits) 0)
+    (Congest.Trace.total_bits full);
+  (* Per-round accumulators, over every executed round. *)
+  for r = 0 to Congest.Trace.rounds full - 1 do
+    check_int
+      (Printf.sprintf "bits_in_round %d" r)
+      (fold
+         (fun acc (s : Congest.Trace.send) ->
+           if s.Congest.Trace.round = r then acc + s.Congest.Trace.bits
+           else acc)
+         0)
+      (Congest.Trace.bits_in_round full r);
+    check_int
+      (Printf.sprintf "messages_in_round %d" r)
+      (fold
+         (fun acc (s : Congest.Trace.send) ->
+           if s.Congest.Trace.round = r then acc + 1 else acc)
+         0)
+      (Congest.Trace.messages_in_round full r)
+  done;
+  (* Registered-cut accumulators vs the log. *)
+  let crossing (s : Congest.Trace.send) =
+    part.(s.Congest.Trace.src) <> part.(s.Congest.Trace.dst)
+  in
+  check_int "cut_bits"
+    (fold
+       (fun acc s -> if crossing s then acc + s.Congest.Trace.bits else acc)
+       0)
+    (Congest.Trace.cut_bits full part);
+  check_int "cut_messages"
+    (fold (fun acc s -> if crossing s then acc + 1 else acc) 0)
+    (Congest.Trace.cut_messages full part);
+  let by_side = Congest.Trace.cut_bits_by_side full part in
+  Array.iteri
+    (fun p want ->
+      check_int
+        (Printf.sprintf "cut_bits_by_side %d" p)
+        (fold
+           (fun acc (s : Congest.Trace.send) ->
+             if crossing s && part.(s.Congest.Trace.src) = p then
+               acc + s.Congest.Trace.bits
+             else acc)
+           0)
+        want)
+    by_side;
+  check_int "by_side sums to cut_bits"
+    (Congest.Trace.cut_bits full part)
+    (Array.fold_left ( + ) 0 by_side);
+  let by_round = Congest.Trace.cut_bits_by_round full part in
+  check_int "by_round length" (Congest.Trace.rounds full)
+    (Array.length by_round);
+  check_int "by_round sums to cut_bits"
+    (Congest.Trace.cut_bits full part)
+    (Array.fold_left ( + ) 0 by_round);
+  (* max per (round, edge) — fold recomputation vs the trace's answer. *)
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (s : Congest.Trace.send) ->
+      let key =
+        (s.Congest.Trace.round, s.Congest.Trace.src, s.Congest.Trace.dst)
+      in
+      Hashtbl.replace tbl key
+        (s.Congest.Trace.bits
+        + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    sends;
+  check_int "max_bits_per_edge_round"
+    (Hashtbl.fold (fun _ v acc -> max acc v) tbl 0)
+    (Congest.Trace.max_bits_per_edge_round full);
+  (* A Light-mode replay of the identical run agrees on every streamed
+     query. *)
+  let light = Congest.Trace.create ~mode:Congest.Trace.Light ~cut:part () in
+  ignore (Congest.Runtime.run ~trace:light program g);
+  check_int (gname ^ ": light rounds") (Congest.Trace.rounds full)
+    (Congest.Trace.rounds light);
+  check_int "light total_messages"
+    (Congest.Trace.total_messages full)
+    (Congest.Trace.total_messages light);
+  check_int "light total_bits" (Congest.Trace.total_bits full)
+    (Congest.Trace.total_bits light);
+  for r = 0 to Congest.Trace.rounds full - 1 do
+    check_int "light bits_in_round"
+      (Congest.Trace.bits_in_round full r)
+      (Congest.Trace.bits_in_round light r)
+  done;
+  check_int "light cut_bits"
+    (Congest.Trace.cut_bits full part)
+    (Congest.Trace.cut_bits light part);
+  check_int "light cut_messages"
+    (Congest.Trace.cut_messages full part)
+    (Congest.Trace.cut_messages light part);
+  check_int "light max_bits_per_edge_round"
+    (Congest.Trace.max_bits_per_edge_round full)
+    (Congest.Trace.max_bits_per_edge_round light);
+  (* Log-shaped queries are unavailable without the log. *)
+  (try
+     ignore (Congest.Trace.send_events light);
+     Alcotest.fail "Light send_events should raise"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Congest.Trace.cut_bits light (Array.map (fun p -> 1 - p) part));
+    Alcotest.fail "Light foreign-cut query should raise"
+  with Invalid_argument _ -> ()
+
+(* Fault accumulators against a fold over the recorded fault events. *)
+let test_streaming_fault_parity () =
+  let g = Build.cycle 7 in
+  let part = halves 7 in
+  let plan =
+    Congest.Faults.plan
+      ~default:
+        (Congest.Faults.link ~drop:0.2 ~duplicate:0.2 ~max_delay:2 ())
+      0xfa17
+  in
+  let config =
+    { Congest.Runtime.default_config with Congest.Runtime.faults = Some plan }
+  in
+  let full = Congest.Trace.create ~cut:part () in
+  ignore (Congest.Runtime.run ~config ~trace:full Congest.Algo_luby.mis g);
+  let faults = Congest.Trace.fault_events full in
+  let sum pred =
+    Array.fold_left
+      (fun acc (f : Congest.Trace.fault) ->
+        if pred f then acc + f.Congest.Trace.bits else acc)
+      0 faults
+  in
+  check_int "dropped_bits"
+    (sum (fun f -> f.Congest.Trace.kind = Congest.Trace.Dropped))
+    (Congest.Trace.dropped_bits full);
+  check_int "duplicated_bits"
+    (sum (fun f -> f.Congest.Trace.kind = Congest.Trace.Duplicated))
+    (Congest.Trace.duplicated_bits full);
+  check_int "corrupted_bits"
+    (sum (fun f -> f.Congest.Trace.kind = Congest.Trace.Corrupted))
+    (Congest.Trace.corrupted_bits full);
+  check_int "total_faults" (Array.length faults)
+    (Congest.Trace.total_faults full);
+  let crossing (f : Congest.Trace.fault) =
+    part.(f.Congest.Trace.src) <> part.(f.Congest.Trace.dst)
+  in
+  check_int "cut_bits_dropped"
+    (sum (fun f -> f.Congest.Trace.kind = Congest.Trace.Dropped && crossing f))
+    (Congest.Trace.cut_bits_dropped full part);
+  check_int "cut_bits_duplicated"
+    (sum
+       (fun f -> f.Congest.Trace.kind = Congest.Trace.Duplicated && crossing f))
+    (Congest.Trace.cut_bits_duplicated full part);
+  check_int "delivered identity"
+    (Congest.Trace.cut_bits full part
+    - Congest.Trace.cut_bits_dropped full part
+    + Congest.Trace.cut_bits_duplicated full part)
+    (Congest.Trace.cut_bits_delivered full part);
+  (* Same faulty run, Light trace: streamed fault accounting matches. *)
+  let light = Congest.Trace.create ~mode:Congest.Trace.Light ~cut:part () in
+  ignore (Congest.Runtime.run ~config ~trace:light Congest.Algo_luby.mis g);
+  check_int "light dropped_bits" (Congest.Trace.dropped_bits full)
+    (Congest.Trace.dropped_bits light);
+  check_int "light duplicated_bits"
+    (Congest.Trace.duplicated_bits full)
+    (Congest.Trace.duplicated_bits light);
+  check_int "light total_faults" (Congest.Trace.total_faults full)
+    (Congest.Trace.total_faults light);
+  check_int "light cut_bits_delivered"
+    (Congest.Trace.cut_bits_delivered full part)
+    (Congest.Trace.cut_bits_delivered light part)
+
 let () =
   let cells =
     List.concat_map
@@ -148,9 +343,31 @@ let () =
           (programs ()))
       (graphs ())
   in
+  let streaming_cells =
+    let graphs =
+      graphs () @ [ ("rand1e4", sparse_random_graph ~seed:0x5eed 10_000) ]
+    in
+    List.concat_map
+      (fun (gname, g) ->
+        List.map
+          (fun (P prog as p) ->
+            Alcotest.test_case
+              (Printf.sprintf "streaming %s on %s" prog.Congest.Program.name
+                 gname)
+              `Quick
+              (streaming_parity_cell gname g p))
+          (programs ()))
+      graphs
+  in
   Alcotest.run "golden"
     [
       ("trace-counts", cells);
+      ("streaming", streaming_cells);
+      ( "streaming-faults",
+        [
+          Alcotest.test_case "fault accumulators == fold" `Quick
+            test_streaming_fault_parity;
+        ] );
       ( "blackboard",
         [
           Alcotest.test_case "metric == simulation report" `Quick
