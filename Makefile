@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-par verify examples soak faults chaos netchaos fsck figures kill-resume serve bench-serve bench-netchaos serve-smoke largen bench-largen cache-clean journal-clean clean
+.PHONY: all build test bench bench-par verify examples soak faults chaos netchaos fsck figures kill-resume serve bench-serve bench-netchaos serve-smoke largen bench-largen parlargen bench-parlargen cache-clean journal-clean clean
 
 all: build
 
@@ -98,6 +98,21 @@ largen:
 # results/largen.csv and appends a trajectory entry to BENCH_largen.json).
 bench-largen:
 	dune exec bench/main.exe -- LARGEN
+
+# Sharded-runtime smoke: the jobs ∈ {1,2,3,8} differential battery,
+# the per-domain allocation guard, then the PARLARGEN parity leg
+# capped at n = 10⁴ (docs/PERF.md).
+parlargen:
+	dune exec test/test_csr.exe
+	dune exec test/test_perf_guard.exe
+	MAXIS_LARGEN_MAX_N=10000 dune exec bench/main.exe -- PARLARGEN
+
+# Full-scale parallel sweep: run_flat_par vs run_flat parity + scaling
+# at every width, flood/BFS/Luby to MAXIS_LARGEN_MAX_N (default 10⁵)
+# plus both gadget families with the sharded row sort (writes
+# results/parlargen.csv and appends to BENCH_largen.json).
+bench-parlargen:
+	dune exec bench/main.exe -- PARLARGEN
 
 # Drop cached exact-MIS results; the next run recomputes and repopulates.
 cache-clean:

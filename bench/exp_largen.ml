@@ -399,36 +399,12 @@ let run () =
               ];
           ]
   in
-  let existing =
-    if Sys.file_exists bench_json then begin
-      let ic = open_in_bin bench_json in
-      let len = in_channel_length ic in
-      let body = really_input_string ic len in
-      close_in ic;
-      match J.parse body with
-      | Ok j -> ( match J.member "entries" j with Some (J.Arr l) -> l | _ -> [])
-      | Error _ -> []
-    end
-    else []
-  in
-  let entry =
-    J.Obj
-      [
-        ("date", J.Str (today ()));
-        ("max_n", J.Int max_n);
-        ("runs", J.Arr entries);
-      ]
-  in
-  let doc =
-    J.Obj
-      [
-        ("bench", J.Str "largen");
-        ("schema", J.Int 1);
-        ("entries", J.Arr (existing @ [ entry ]));
-      ]
-  in
-  let oc = open_out_bin bench_json in
-  output_string oc (J.to_string doc);
-  output_string oc "\n";
-  close_out oc;
+  J.append_entry ~path:bench_json
+    ~header:[ ("bench", J.Str "largen"); ("schema", J.Int 1) ]
+    (J.Obj
+       [
+         ("date", J.Str (today ()));
+         ("max_n", J.Int max_n);
+         ("runs", J.Arr entries);
+       ]);
   note "throughput written to %s and %s" largen_csv bench_json

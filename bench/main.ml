@@ -22,6 +22,7 @@ let experiments =
     ("SERVE", "solve daemon: capabilities + multi-client load", Exp_serve.run);
     ("NETCHAOS", "serving layer under network chaos", Exp_netchaos.run);
     ("LARGEN", "large-n CSR engine: flood/BFS/Luby + gadget sweep", Exp_largen.run);
+    ("PARLARGEN", "domain-sharded flat runtime: parity + scaling", Exp_parlargen.run);
   ]
 
 (* Subsets of the umbrella ids, so `-- T2-gap` etc. also work. *)

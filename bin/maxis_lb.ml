@@ -456,11 +456,19 @@ let figure_cmd =
 (* simulate *)
 
 let simulate_cmd =
-  let run alpha ell players seed intersecting drop corrupt fault_seed metrics =
+  let run alpha ell players seed intersecting drop corrupt fault_seed engine
+      jobs metrics =
     with_metrics ~cmd:"simulate" metrics @@ fun () ->
     if drop < 0.0 || drop > 1.0 || corrupt < 0.0 || corrupt > 1.0 then begin
       Format.eprintf
         "simulate: --drop and --corrupt must be probabilities in [0,1]@.";
+      exit 2
+    end;
+    if engine <> `List && (drop > 0.0 || corrupt > 0.0) then begin
+      Format.eprintf
+        "simulate: --engine=%s rejects fault injection (--drop/--corrupt \
+         need --engine=list)@."
+        (match engine with `Flat -> "flat" | _ -> "flat-par");
       exit 2
     end;
     let p = params alpha ell players in
@@ -477,11 +485,19 @@ let simulate_cmd =
         { Congest.Runtime.default_config with Congest.Runtime.faults = Some plan }
       end
     in
+    let decide engine =
+      Maxis_core.Simulation.decide_disjointness_checked ~config ~engine inst
+        ~predicate:(LF.predicate p)
+    in
     (* The checked entry point: a misbehaving or fault-starved run degrades
        to a structured report instead of an escaping exception. *)
     match
-      Maxis_core.Simulation.decide_disjointness_checked ~config inst
-        ~predicate:(LF.predicate p)
+      match engine with
+      | `List -> decide Maxis_core.Simulation.List_mode
+      | `Flat -> decide Maxis_core.Simulation.Flat
+      | `Flat_par ->
+          with_pool_checked jobs (fun pool ->
+              decide (Maxis_core.Simulation.Flat_par pool))
     with
     | Error e ->
         Format.printf "simulation FAILED: %a@." Maxis_core.Simulation.pp_error e;
@@ -526,12 +542,26 @@ let simulate_cmd =
     Arg.(
       value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-plan PRNG seed.")
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("list", `List); ("flat", `Flat); ("flat-par", `Flat_par) ])
+          `List
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Executor for the gather protocol: $(b,list) (historical \
+             per-message allocation), $(b,flat) (zero-allocation CSR \
+             runtime), or $(b,flat-par) (flat runtime sharded across \
+             $(b,--jobs) domains).  All engines print byte-identical \
+             reports; fault injection requires $(b,list).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the Theorem-5 simulation on an instance.")
     Term.(
       const run $ alpha_arg $ ell_arg $ players_arg $ seed_arg
       $ intersecting_arg $ drop_arg $ corrupt_arg $ fault_seed_arg
-      $ metrics_arg)
+      $ engine_arg $ jobs_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export *)

@@ -72,6 +72,14 @@ let grow4 a len =
   Array.blit a 0 a' 0 len;
   a'
 
+(* And for the sharded executor's stride-5 staging buffers, which keep
+   each message's bit size alongside the quad so the trace can be
+   recorded after the parallel phase. *)
+let grow5 a len =
+  let a' = Array.make (max 40 (2 * Array.length a)) 0 in
+  Array.blit a 0 a' 0 len;
+  a'
+
 let[@inline] push_inbox b ~src ~tag ~word =
   let base = 3 * (b.i_off + b.i_len) in
   if base = Array.length b.i_buf then b.i_buf <- grow3 b.i_buf base;

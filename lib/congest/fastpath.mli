@@ -76,6 +76,12 @@ val grow4 : int array -> int -> int array
 (** Double a stride-4 staging buffer (capacity stays a multiple of 4),
     preserving the first [len] slots.  For {!Runtime.run_flat}. *)
 
+val grow5 : int array -> int -> int array
+(** Double a stride-5 staging buffer (capacity stays a multiple of 5):
+    the sharded executor ({!Runtime.run_flat_par}) stages
+    (dst, src, tag, word, bits) quints so trace recording can happen
+    after the parallel phase. *)
+
 (** {1 Programs} *)
 
 type 'out node = {

@@ -101,6 +101,14 @@ let metrics_for algo =
     m_deliveries = Obs.Metrics.counter ~labels "congest_deliveries_total";
   }
 
+(* Memory-footprint gauges for the flat executors: the resident size of
+   the CSR graph being executed and the peak words held in the staging +
+   delivery buffers, so large-n memory shows up in --metrics exports
+   next to the time series. *)
+let g_arena_peak = Obs.Metrics.gauge "runtime_arena_peak_words"
+
+let g_graph_words = Obs.Metrics.gauge "graph_resident_words"
+
 let fault_kind_label = function
   | Trace.Dropped -> "dropped"
   | Trace.Duplicated -> "duplicated"
@@ -485,6 +493,7 @@ let run_flat ?(config = default_config) ?trace (fp : 'out Fastpath.t) c =
     invalid_arg "Runtime.run_flat: Broadcast mode needs the list-mode runtime";
   let trace = make_trace trace in
   let n = Csr.n c in
+  Obs.Metrics.set g_graph_words (Csr.resident_words c);
   let limit = bandwidth_bits config ~n in
   let mx = metrics_for fp.Fastpath.fname in
   Obs.Metrics.inc mx.m_runs;
@@ -646,6 +655,7 @@ let run_flat ?(config = default_config) ?trace (fp : 'out Fastpath.t) c =
   Obs.Metrics.add mx.m_messages !sent;
   Obs.Metrics.add mx.m_bits !sent_bits;
   Obs.Metrics.add mx.m_deliveries !sent;
+  Obs.Metrics.set g_arena_peak (Array.length !arena + Array.length !stage);
   {
     outputs = Array.map (fun inst -> inst.Fastpath.foutput ()) instances;
     rounds_executed = !round;
@@ -653,3 +663,418 @@ let run_flat ?(config = default_config) ?trace (fp : 'out Fastpath.t) c =
     crashed = Array.make n false;
     trace;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Domain-sharded flat executor.
+
+   [run_flat_par] is [run_flat] with every per-node / per-destination
+   phase of the round partitioned across an [Exec.Pool] via
+   {!Exec.Pool.run_range}, arranged so the delivered inbox windows —
+   and therefore outputs, round counts and trace digests — are
+   byte-identical to the sequential executor at every pool width.  The
+   determinism argument (docs/PERF.md):
+
+   - node [v] always lives in the same chunk (run_range splits [0, n)
+     the same way every call), and every chunk owns private staging,
+     tallies, bandwidth book and emitter — no cross-domain writes;
+   - the merge assembles per-destination windows as
+     [offs.(d) + Σ_{s' < s} counts_{s'}(d)]: shard segments concatenate
+     in ascending shard = ascending source order, which is exactly the
+     (src asc, emit order) layout the sequential counting sort
+     produces;
+   - trace recording is replayed on the calling domain in ascending
+     shard order after the barrier (the Light digest is an
+     order-sensitive fold, so it cannot be parallelized — it is
+     re-folded from the staged quints instead), giving the identical
+     event sequence;
+   - spawning stays sequential: PRNG splitting is one master stream.
+
+   A round executes as four barriers: (1) stage — each shard steps its
+   nodes against the previous round's windows and stages
+   (dst, src, tag, word, bits) quints; (2) prefix pass A — each shard
+   of the destination range turns the per-shard tallies into
+   within-column prefixes and computes its chunk total, with the chunk
+   bases then prefix-summed sequentially (O(jobs)); (3) prefix pass B —
+   writes the global windows and lifts the within-column prefixes to
+   absolute write cursors; (4) scatter — each shard copies its staged
+   quints into its (disjoint) arena slots.
+
+   Worker deaths are never retried (a chunk mutates node state and PRNG
+   streams in place, so re-running half a chunk would corrupt the run):
+   the round is torn down, no trace is recorded for it, and the same
+   width-independent [Error.Error (Worker_death _)] escapes at every
+   [jobs], including 1.  A model violation (oversend / non-neighbor)
+   replays the trace prefix the sequential executor would have recorded
+   — every staged message of lower shards plus the failing shard's
+   prefix — before re-raising, so [run_flat_par_checked]-style drivers
+   see identical post-mortem traces. *)
+
+(* Per-shard hot tallies are spread [shard_pad] ints apart so two
+   domains never bump the same cache line. *)
+let shard_pad = 8
+
+let run_flat_par ?(config = default_config) ?trace ?alloc_probe ~pool
+    (fp : 'out Fastpath.t) c =
+  (match config.faults with
+  | Some _ ->
+      invalid_arg "Runtime.run_flat_par: fault plans need the list-mode runtime"
+  | None -> ());
+  if config.mode = Broadcast then
+    invalid_arg
+      "Runtime.run_flat_par: Broadcast mode needs the list-mode runtime";
+  let trace = make_trace trace in
+  let n = Csr.n c in
+  let jobs = Exec.Pool.jobs pool in
+  (match alloc_probe with
+  | Some p when Array.length p < jobs ->
+      invalid_arg "Runtime.run_flat_par: alloc_probe shorter than pool width"
+  | _ -> ());
+  Obs.Metrics.set g_graph_words (Csr.resident_words c);
+  let limit = bandwidth_bits config ~n in
+  let mx = metrics_for fp.Fastpath.fname in
+  Obs.Metrics.inc mx.m_runs;
+  let master_rng = Stdx.Prng.create config.seed in
+  let spawn v =
+    let view =
+      {
+        Program.id = v;
+        n;
+        weight = Csr.weight c v;
+        neighbors = Csr.neighbors_array c v;
+        rng = Stdx.Prng.split master_rng;
+      }
+    in
+    fp.Fastpath.fspawn view
+  in
+  let instances =
+    let rec build v acc =
+      if v = n then List.rev acc else build (v + 1) (spawn v :: acc)
+    in
+    Array.of_list (build 0 [])
+  in
+  (* Chunk geometry is fixed for the run, so a chunk's lo bound inverts
+     to its shard index in O(1).  Chunks that are empty (n < jobs) stay
+     empty forever and their shard state is never touched. *)
+  let q = n / jobs and r = n mod jobs in
+  let shard_of clo =
+    if q = 0 then clo
+    else if clo < (q + 1) * r then clo / (q + 1)
+    else r + ((clo - ((q + 1) * r)) / q)
+  in
+  (* Shards past [used] own empty chunks: their staging state is never
+     reset by a stage phase, so the merge passes must not fold it in —
+     pass B would otherwise leave stale cursors in their count arrays
+     that the next round's pass A mistakes for real tallies. *)
+  let used = if q = 0 then r else jobs in
+  (* Global delivery state: written only between barriers (arena
+     replacement, offs.(n)) or in provably disjoint slots (pass B / the
+     scatter). *)
+  let arena = ref [||] in
+  let offs = Array.make (max n 1 + 1) 0 in
+  let col = Array.make (max n 1) 0 in
+  (* Per-shard private state. *)
+  let sh_stage = Array.make jobs [||] in
+  let sh_counts = Array.init jobs (fun _ -> Array.make (max n 1) 0) in
+  let sh_book = Array.init jobs (fun _ -> Array.make (2 * max n 1) (-1)) in
+  let sh_view = Array.init jobs (fun _ -> Fastpath.make_inbox ()) in
+  let sh_em = Array.init jobs (fun _ -> Fastpath.make_emitter ()) in
+  let sh_token = Array.make (jobs * shard_pad) 0 in
+  let sh_len = Array.make (jobs * shard_pad) 0 in
+  let sh_round_bits = Array.make (jobs * shard_pad) 0 in
+  let sh_halted = Array.make (jobs * shard_pad) 0 in
+  let sh_edge_obs = Array.make (jobs * shard_pad) 0 in
+  let sh_failed = Array.make (jobs * shard_pad) 0 in
+  let ct = Array.make (jobs * shard_pad) 0 in
+  let cb = Array.make jobs 0 in
+  (* One mark closure per shard for the whole run, mirroring the
+     sequential executor's single [mark]. *)
+  let sh_mark =
+    Array.init jobs (fun s ->
+        let book = sh_book.(s) in
+        let tok = s * shard_pad in
+        fun u ->
+          Array.unsafe_set book (2 * u) (Array.unsafe_get sh_token tok);
+          Array.unsafe_set book ((2 * u) + 1) 0)
+  in
+  let round = ref 0 in
+  let sent = ref 0 in
+  let sent_bits = ref 0 in
+  (* Phase 1: step + stage.  Identical per-message semantics to the
+     sequential loop — validate against the shard's own book, then stage
+     — with the trace recording deferred to the post-barrier merge. *)
+  let stage_body clo chi s =
+    let slot = s * shard_pad in
+    sh_len.(slot) <- 0;
+    sh_round_bits.(slot) <- 0;
+    sh_halted.(slot) <- 0;
+    sh_failed.(slot) <- 0;
+    let counts = sh_counts.(s) in
+    Array.fill counts 0 (Array.length counts) 0;
+    let view = sh_view.(s) and em = sh_em.(s) in
+    let mark = sh_mark.(s) and book = sh_book.(s) in
+    let rnd = !round in
+    for v = clo to chi - 1 do
+      let inst = instances.(v) in
+      if inst.Fastpath.fhalted () then sh_halted.(slot) <- sh_halted.(slot) + 1
+      else begin
+        view.Fastpath.i_buf <- !arena;
+        view.Fastpath.i_off <- Array.unsafe_get offs v;
+        view.Fastpath.i_len <-
+          Array.unsafe_get offs (v + 1) - view.Fastpath.i_off;
+        em.Fastpath.e_len <- 0;
+        inst.Fastpath.fstep ~round:rnd ~inbox:view em;
+        if em.Fastpath.e_len > 0 then begin
+          sh_token.(slot) <- sh_token.(slot) + 1;
+          Csr.iter_neighbors mark c v
+        end;
+        let e_dst = em.Fastpath.e_dst
+        and e_tag = em.Fastpath.e_tag
+        and e_bits = em.Fastpath.e_bits
+        and e_word = em.Fastpath.e_word in
+        for k = 0 to em.Fastpath.e_len - 1 do
+          let dst = Array.unsafe_get e_dst k in
+          if
+            dst < 0 || dst >= n
+            || Array.unsafe_get book (2 * dst) <> sh_token.(slot)
+          then raise (Illegal_recipient { round = rnd; src = v; dst });
+          let bits = Array.unsafe_get e_bits k in
+          let total = Array.unsafe_get book ((2 * dst) + 1) + bits in
+          if total > limit then
+            raise
+              (Bandwidth_exceeded
+                 { round = rnd; src = v; dst; bits = total; limit });
+          Array.unsafe_set book ((2 * dst) + 1) total;
+          if total > sh_edge_obs.(slot) then sh_edge_obs.(slot) <- total;
+          let base = 5 * sh_len.(slot) in
+          if base = Array.length sh_stage.(s) then
+            sh_stage.(s) <- Fastpath.grow5 sh_stage.(s) base;
+          let st = sh_stage.(s) in
+          Array.unsafe_set st base dst;
+          Array.unsafe_set st (base + 1) v;
+          Array.unsafe_set st (base + 2) (Array.unsafe_get e_tag k);
+          Array.unsafe_set st (base + 3) (Array.unsafe_get e_word k);
+          Array.unsafe_set st (base + 4) bits;
+          sh_len.(slot) <- sh_len.(slot) + 1;
+          sh_round_bits.(slot) <- sh_round_bits.(slot) + bits;
+          Array.unsafe_set counts dst (Array.unsafe_get counts dst + 1)
+        done;
+        if inst.Fastpath.fhalted () then
+          sh_halted.(slot) <- sh_halted.(slot) + 1
+      end
+    done
+  in
+  let f_stage clo chi =
+    if clo < chi then begin
+      let s = shard_of clo in
+      let a0 =
+        match alloc_probe with None -> 0.0 | Some _ -> Gc.minor_words ()
+      in
+      (try stage_body clo chi s
+       with
+      | Exec.Pool.Chaos_kill as e -> raise e
+      | e ->
+          (* Model violation (or a program bug): remember which shard so
+             the caller can replay the sequential trace prefix. *)
+          sh_failed.(shard_pad * s) <- 1;
+          raise e);
+      match alloc_probe with
+      | None -> ()
+      | Some p -> p.(s) <- p.(s) +. (Gc.minor_words () -. a0)
+    end
+  in
+  (* Phase 2 (pass A): over destination chunks — turn the per-shard
+     per-dst tallies into within-column prefixes, leaving the column
+     total in [col] and this chunk's grand total in [ct]. *)
+  let f_pass_a dlo dhi =
+    if dlo < dhi then begin
+      let s = shard_of dlo in
+      let t = ref 0 in
+      for d = dlo to dhi - 1 do
+        let running = ref 0 in
+        for s' = 0 to used - 1 do
+          let cs = sh_counts.(s') in
+          let c0 = Array.unsafe_get cs d in
+          Array.unsafe_set cs d !running;
+          running := !running + c0
+        done;
+        Array.unsafe_set col d !running;
+        t := !t + !running
+      done;
+      ct.(s * shard_pad) <- !t
+    end
+  in
+  (* Phase 3 (pass B): write the global windows and lift the per-shard
+     prefixes to absolute arena write cursors. *)
+  let f_pass_b dlo dhi =
+    if dlo < dhi then begin
+      let s = shard_of dlo in
+      let acc = ref cb.(s) in
+      for d = dlo to dhi - 1 do
+        let o = !acc in
+        Array.unsafe_set offs d o;
+        for s' = 0 to used - 1 do
+          let cs = sh_counts.(s') in
+          Array.unsafe_set cs d (Array.unsafe_get cs d + o)
+        done;
+        acc := o + Array.unsafe_get col d
+      done
+    end
+  in
+  (* Phase 4: scatter each shard's staged quints into its disjoint
+     arena slots ([sh_counts] now holds absolute write cursors). *)
+  let f_scatter clo chi =
+    if clo < chi then begin
+      let s = shard_of clo in
+      let st = sh_stage.(s) and counts = sh_counts.(s) and a = !arena in
+      for i = 0 to sh_len.(s * shard_pad) - 1 do
+        let b5 = 5 * i in
+        let dst = Array.unsafe_get st b5 in
+        let pos = Array.unsafe_get counts dst in
+        Array.unsafe_set counts dst (pos + 1);
+        let b3 = 3 * pos in
+        Array.unsafe_set a b3 (Array.unsafe_get st (b5 + 1));
+        Array.unsafe_set a (b3 + 1) (Array.unsafe_get st (b5 + 2));
+        Array.unsafe_set a (b3 + 2) (Array.unsafe_get st (b5 + 3))
+      done
+    end
+  in
+  (* Trace prefix of a round torn by a model violation: every staged
+     message of shards below the (lowest) failing one, then the failing
+     shard's own staged prefix — exactly what sequential execution had
+     recorded when it raised. *)
+  let replay_violation_prefix () =
+    let rec first_failed s =
+      if s >= jobs then jobs
+      else if sh_failed.(s * shard_pad) <> 0 then s
+      else first_failed (s + 1)
+    in
+    let sf = first_failed 0 in
+    if sf < jobs then begin
+      let rnd = !round in
+      for s = 0 to sf do
+        let st = sh_stage.(s) in
+        for i = 0 to sh_len.(s * shard_pad) - 1 do
+          let b = 5 * i in
+          Trace.record_send trace ~round:rnd ~src:st.(b + 1) ~dst:st.(b)
+            ~bits:st.(b + 4)
+        done
+      done
+    end
+  in
+  let seq_all_halted () =
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not (instances.(v).Fastpath.fhalted ()) then ok := false
+    done;
+    !ok
+  in
+  (* Post-round halted totals come from the shard tallies; before the
+     first round there are none, so scan once. *)
+  let halted_sum = ref (-1) in
+  let all_halted_now () =
+    if !halted_sum < 0 then seq_all_halted () else !halted_sum = n
+  in
+  while !round < config.max_rounds && not (all_halted_now ()) do
+    (match Exec.Pool.run_range pool ~lo:0 ~hi:n f_stage with
+    | () -> ()
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (match e with
+        | Exec.Error.Error (Exec.Error.Worker_death _) ->
+            (* A torn round records no trace at any width: jobs = 1
+               quarantines the kill through the same path. *)
+            ()
+        | _ -> replay_violation_prefix ());
+        Printexc.raise_with_backtrace e bt);
+    (* Sequential merge on the calling domain, ascending shard = source
+       order: the trace sees the identical event sequence the
+       sequential executor records. *)
+    let rnd = !round in
+    if Trace.per_send_required trace then
+      for s = 0 to jobs - 1 do
+        let st = sh_stage.(s) in
+        for i = 0 to sh_len.(s * shard_pad) - 1 do
+          let b = 5 * i in
+          Trace.record_send trace ~round:rnd ~src:(Array.unsafe_get st (b + 1))
+            ~dst:(Array.unsafe_get st b)
+            ~bits:(Array.unsafe_get st (b + 4))
+        done
+      done
+    else begin
+      let cnt = ref 0 and bits = ref 0 in
+      for s = 0 to jobs - 1 do
+        cnt := !cnt + sh_len.(s * shard_pad);
+        bits := !bits + sh_round_bits.(s * shard_pad)
+      done;
+      Trace.record_send_bulk trace ~round:rnd ~count:!cnt ~bits:!bits;
+      if !cnt > 0 then begin
+        (* The Light digest is an order-sensitive fold — the one part of
+           the round that is inherently sequential.  Re-fold it from the
+           staged quints in a tight loop. *)
+        let h = ref (Trace.send_digest_state trace) in
+        for s = 0 to jobs - 1 do
+          let st = sh_stage.(s) in
+          for i = 0 to sh_len.(s * shard_pad) - 1 do
+            let b = 5 * i in
+            h :=
+              Trace.send_mix ~h:!h ~round:rnd
+                ~src:(Array.unsafe_get st (b + 1))
+                ~dst:(Array.unsafe_get st b)
+                ~bits:(Array.unsafe_get st (b + 4))
+          done
+        done;
+        Trace.set_send_digest_state trace !h
+      end
+    end;
+    let halted = ref 0 in
+    for s = 0 to jobs - 1 do
+      sent := !sent + sh_len.(s * shard_pad);
+      sent_bits := !sent_bits + sh_round_bits.(s * shard_pad);
+      halted := !halted + sh_halted.(s * shard_pad)
+    done;
+    halted_sum := !halted;
+    (* Two-pass prefix-sum merge with an O(jobs) sequential seam. *)
+    Exec.Pool.run_range pool ~lo:0 ~hi:n f_pass_a;
+    let accb = ref 0 in
+    for s = 0 to jobs - 1 do
+      cb.(s) <- !accb;
+      accb := !accb + ct.(s * shard_pad)
+    done;
+    let total = !accb in
+    offs.(n) <- total;
+    if 3 * total > Array.length !arena then
+      arena := Array.make (max 24 (2 * (3 * total))) 0;
+    Exec.Pool.run_range pool ~lo:0 ~hi:n f_pass_b;
+    Exec.Pool.run_range pool ~lo:0 ~hi:n f_scatter;
+    incr round
+  done;
+  Trace.set_rounds trace !round;
+  let edge_obs = ref 0 in
+  for s = 0 to jobs - 1 do
+    if sh_edge_obs.(s * shard_pad) > !edge_obs then
+      edge_obs := sh_edge_obs.(s * shard_pad)
+  done;
+  Trace.observe_edge_total trace !edge_obs;
+  Obs.Metrics.add mx.m_rounds !round;
+  Obs.Metrics.add mx.m_messages !sent;
+  Obs.Metrics.add mx.m_bits !sent_bits;
+  Obs.Metrics.add mx.m_deliveries !sent;
+  let stage_words =
+    Array.fold_left (fun acc a -> acc + Array.length a) 0 sh_stage
+  in
+  Obs.Metrics.set g_arena_peak (Array.length !arena + stage_words);
+  {
+    outputs = Array.map (fun inst -> inst.Fastpath.foutput ()) instances;
+    rounds_executed = !round;
+    all_halted = all_halted_now ();
+    crashed = Array.make n false;
+    trace;
+  }
+
+let run_flat_checked ?(config = default_config) ?trace (fp : 'out Fastpath.t)
+    c =
+  checked (fun trace -> run_flat ~config ~trace fp c) (make_trace trace)
+
+let run_flat_par_checked ?(config = default_config) ?trace ~pool
+    (fp : 'out Fastpath.t) c =
+  checked (fun trace -> run_flat_par ~config ~trace ~pool fp c) (make_trace trace)

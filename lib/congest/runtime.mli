@@ -137,3 +137,61 @@ val run_flat :
     Raises [Invalid_argument] if [config.faults] is set or
     [config.mode = Broadcast] — adversarial runs keep to the list-mode
     executor. *)
+
+val run_flat_par :
+  ?config:config ->
+  ?trace:Trace.t ->
+  ?alloc_probe:float array ->
+  pool:Exec.Pool.t ->
+  'out Fastpath.t ->
+  Wgraph.Csr.t ->
+  'out result
+(** {!run_flat} sharded across the domains of [pool] (docs/PERF.md):
+    every per-node and per-destination phase of the round runs as an
+    {!Exec.Pool.run_range} barrier over private per-shard staging
+    arenas and tallies, merged by a two-pass prefix sum into the same
+    delivery-arena layout the sequential counting sort produces.
+    Outputs, round counts, recorded traces and digests are
+    byte-identical to {!run_flat} at every pool width, cold or warm
+    (test/test_csr.ml pins this differentially at jobs ∈ {1, 2, 3, 8}).
+
+    Spawning, trace recording and the O(jobs) prefix seam stay on the
+    calling domain; per-run [congest_*] metric totals are merged from
+    per-shard tallies at the end of the run, and the
+    [runtime_arena_peak_words] / [graph_resident_words] gauges record
+    the memory footprint.
+
+    A worker death mid-round ({!Exec.Pool.Chaos_kill}) is never
+    retried — shard bodies mutate node state and PRNG streams in place
+    — so the run raises the same width-independent
+    [Exec.Error.Error (Worker_death _)] at every [jobs] (including 1),
+    with no trace recorded for the torn round.  Model violations raise
+    the same exceptions as {!run_flat}, after replaying the identical
+    trace prefix.
+
+    [alloc_probe] (a test hook; length ≥ pool width) accumulates, per
+    shard, the minor words its stage phase allocates each round — the
+    per-domain allocation guard reads it.  Raises [Invalid_argument]
+    under fault plans, in [Broadcast] mode, or if [alloc_probe] is too
+    short. *)
+
+val run_flat_checked :
+  ?config:config ->
+  ?trace:Trace.t ->
+  'out Fastpath.t ->
+  Wgraph.Csr.t ->
+  ('out result, failure) Stdlib.result
+(** {!run_flat} with model violations returned as structured failures,
+    like {!run_checked}.  [Invalid_argument] (faults / Broadcast) still
+    raises. *)
+
+val run_flat_par_checked :
+  ?config:config ->
+  ?trace:Trace.t ->
+  pool:Exec.Pool.t ->
+  'out Fastpath.t ->
+  Wgraph.Csr.t ->
+  ('out result, failure) Stdlib.result
+(** {!run_flat_par} behind the same checked wrapper.  A worker death
+    ([Exec.Error.Error (Worker_death _)]) is an executor fault, not a
+    model violation, and still raises. *)

@@ -174,6 +174,46 @@ let record_send t ~round ~src ~dst ~bits =
     t.h_sends <-
       mix_int (mix_int (mix_int (mix_int t.h_sends round) src) dst) bits
 
+(* ------------------------------------------------------------------ *)
+(* Bulk recording (the domain-sharded executor's path).
+
+   [record_send] is per-message because Full mode retains the log and a
+   registered cut needs each (src, dst).  When neither applies — Light
+   mode, no cut — everything the trace maintains per send is an
+   aggregate plus the streamed digest, so the parallel executor records
+   a whole round's shard in O(1) with [record_send_bulk] and folds the
+   digest itself with [send_mix] over its staged messages (in shard
+   order = ascending source order, exactly the sequence the sequential
+   executor would have recorded). *)
+
+let per_send_required t = t.mode = Full || t.cut <> None
+
+let record_send_bulk t ~round ~count ~bits =
+  if per_send_required t then
+    invalid_arg
+      "Trace.record_send_bulk: this trace needs per-send events (Full mode \
+       or registered cut)";
+  if count < 0 || bits < 0 then
+    invalid_arg "Trace.record_send_bulk: negative count or bits";
+  if count > 0 then begin
+    t.n_sends <- t.n_sends + count;
+    t.sum_bits <- t.sum_bits + bits;
+    if round > t.max_send_round then t.max_send_round <- round;
+    if round <> t.open_round then begin
+      flush_round t;
+      t.open_round <- round
+    end;
+    t.open_bits <- t.open_bits + bits;
+    t.open_msgs <- t.open_msgs + count
+  end
+
+let send_mix ~h ~round ~src ~dst ~bits =
+  mix_int (mix_int (mix_int (mix_int h round) src) dst) bits
+
+let send_digest_state t = t.h_sends
+
+let set_send_digest_state t h = t.h_sends <- h
+
 let fault_code = function
   | Dropped -> 1
   | Duplicated -> 2

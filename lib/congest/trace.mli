@@ -64,6 +64,37 @@ val registered_cut : t -> int array option
 
 val record_send : t -> round:int -> src:int -> dst:int -> bits:int -> unit
 
+val per_send_required : t -> bool
+(** Does this trace need to see every individual send ([Full] mode
+    retains the log; a registered cut classifies each [(src, dst)])?
+    When [false] — [Light] mode, no cut — a whole round of traffic can
+    be recorded with {!record_send_bulk} plus a caller-side
+    {!send_mix} digest fold, with no observable difference from
+    per-message {!record_send} calls.  The domain-sharded executor
+    branches on this. *)
+
+val record_send_bulk : t -> round:int -> count:int -> bits:int -> unit
+(** [record_send_bulk t ~round ~count ~bits] records [count] sends
+    totalling [bits] bits in [round] in O(1): every streamed aggregate
+    is updated exactly as [count] {!record_send} calls would have —
+    {e except} the Light-mode send digest, which depends on each
+    [(src, dst)] and must be folded by the caller with {!send_mix} and
+    stored back via {!set_send_digest_state}.  [count = 0] is a no-op.
+    Raises [Invalid_argument] when {!per_send_required} holds or on
+    negative arguments. *)
+
+val send_mix : h:int -> round:int -> src:int -> dst:int -> bits:int -> int
+(** One step of the Light-mode send-digest stream: exactly the fold
+    {!record_send} applies.  Pure; combine with
+    {!send_digest_state}/{!set_send_digest_state} to reproduce the
+    sequential digest from bulk-recorded rounds. *)
+
+val send_digest_state : t -> int
+(** Current Light-mode send-digest accumulator (also defined, but
+    unused by {!digest}, in [Full] mode). *)
+
+val set_send_digest_state : t -> int -> unit
+
 val record_fault :
   t -> round:int -> src:int -> dst:int -> bits:int -> kind:fault_kind -> unit
 (** Recorded by the runtime for every injected event; [bits] is the size of

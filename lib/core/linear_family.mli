@@ -28,14 +28,25 @@ val instance : Params.t -> Commcx.Inputs.t -> Family.instance
     [Invalid_argument] if the inputs don't match the parameters ([t]
     strings of length [k]). *)
 
-val fixed_csr : ?labels:bool -> Params.t -> Wgraph.Csr.t * int array
+val fixed_csr :
+  ?labels:bool ->
+  ?shard:(lo:int -> hi:int -> (int -> int -> unit) -> unit) ->
+  Params.t ->
+  Wgraph.Csr.t * int array
 (** CSR twin of {!fixed}: identical edge set and partition, built through
     {!Base_graph.build_csr_into} without the n²-bit adjacency matrix, so
     Theorem-1 sweeps reach n in the 10⁵–10⁶ range.  Labels off by
     default (they dominate build cost at scale); test/test_csr.ml pins
-    [Csr.equal (fst (fixed_csr p)) (Csr.of_graph (fst (fixed p)))]. *)
+    [Csr.equal (fst (fixed_csr p)) (Csr.of_graph (fst (fixed p)))].
+    [shard] is forwarded to {!Wgraph.Csr.Builder.finish} to sort the
+    adjacency rows across a domain pool; the CSR is bit-identical at
+    any width. *)
 
-val instance_csr : Params.t -> Commcx.Inputs.t -> Wgraph.Csr.t * int array
+val instance_csr :
+  ?shard:(lo:int -> hi:int -> (int -> int -> unit) -> unit) ->
+  Params.t ->
+  Commcx.Inputs.t ->
+  Wgraph.Csr.t * int array
 (** CSR twin of {!instance}: the fixed CSR construction re-weighted (by
     structure-sharing {!Wgraph.Csr.reweight}) according to the input
     strings.  Same [Invalid_argument] conditions as {!instance}. *)

@@ -43,7 +43,7 @@ let meter_blackboard ~algo ~(report_bits : int) ~writes ~per_player ~per_round =
   in
   Array.iter (fun bits -> Obs.Metrics.observe h (float_of_int bits)) per_round
 
-let report_of ~config (program : _ Congest.Program.t) (inst : Family.instance)
+let report_of ~config ~algo (inst : Family.instance)
     (result : _ Runtime.result) =
   let n = Wgraph.Graph.n inst.Family.graph in
   let cut_size = Family.cut_size inst in
@@ -51,8 +51,7 @@ let report_of ~config (program : _ Congest.Program.t) (inst : Family.instance)
   let trace = result.Runtime.trace in
   let blackboard_bits = Trace.cut_bits trace inst.Family.partition in
   let rounds = result.Runtime.rounds_executed in
-  meter_blackboard ~algo:program.Congest.Program.name
-    ~report_bits:blackboard_bits
+  meter_blackboard ~algo ~report_bits:blackboard_bits
     ~writes:(Trace.cut_messages trace inst.Family.partition)
     ~per_player:(Trace.cut_bits_by_side trace inst.Family.partition)
     ~per_round:(Trace.cut_bits_by_round trace inst.Family.partition);
@@ -63,7 +62,7 @@ let report_of ~config (program : _ Congest.Program.t) (inst : Family.instance)
      drops part of it. *)
   let bound_bits = rounds * (2 * cut_size) * bandwidth in
   {
-    algorithm = program.Congest.Program.name;
+    algorithm = algo;
     n;
     rounds;
     cut_size;
@@ -81,13 +80,16 @@ let report_of ~config (program : _ Congest.Program.t) (inst : Family.instance)
 
 let simulate ?(config = Runtime.default_config) program (inst : Family.instance) =
   let result = Runtime.run ~config program inst.Family.graph in
-  (result, report_of ~config program inst result)
+  (result, report_of ~config ~algo:program.Congest.Program.name inst result)
 
 let simulate_checked ?(config = Runtime.default_config) program
     (inst : Family.instance) =
   match Runtime.run_checked ~config program inst.Family.graph with
-  | Ok result -> Ok (result, report_of ~config program inst result)
+  | Ok result ->
+      Ok (result, report_of ~config ~algo:program.Congest.Program.name inst result)
   | Error failure -> Error failure
+
+type engine = List_mode | Flat | Flat_par of Exec.Pool.t
 
 type decision = {
   report : report;
@@ -107,11 +109,39 @@ let pp_error ppf = function
         "gathering did not complete within %d rounds (increase max_rounds)"
         rounds
 
-let decide_disjointness_checked ?config (inst : Family.instance) ~predicate =
+let decide_disjointness_checked ?(config = Runtime.default_config)
+    ?(engine = List_mode) (inst : Family.instance) ~predicate =
   let g = inst.Family.graph in
   let m = Wgraph.Graph.edge_count g in
-  let program = Congest.Algo_gather.exact_maxis ~m in
-  match simulate_checked ?config program inst with
+  (* The flat engines run the CSR twin of the instance graph under the
+     flat gather port; report aggregates (rounds, cut bits, outputs) are
+     engine-independent, which test/test_cli.ml pins via stdout parity. *)
+  let run_engine () =
+    match engine with
+    | List_mode ->
+        let program = Congest.Algo_gather.exact_maxis ~m in
+        (match Runtime.run_checked ~config program g with
+        | Ok result ->
+            Ok
+              ( result,
+                report_of ~config ~algo:program.Congest.Program.name inst
+                  result )
+        | Error failure -> Error failure)
+    | Flat | Flat_par _ -> (
+        let fp = Congest.Algo_gather.exact_maxis_flat ~m in
+        let c = Wgraph.Csr.of_graph g in
+        let checked =
+          match engine with
+          | Flat_par pool -> Runtime.run_flat_par_checked ~config ~pool fp c
+          | _ -> Runtime.run_flat_checked ~config fp c
+        in
+        match checked with
+        | Ok result ->
+            Ok
+              (result, report_of ~config ~algo:fp.Congest.Fastpath.fname inst result)
+        | Error failure -> Error failure)
+  in
+  match run_engine () with
   | Error failure -> Error (Runtime_failure failure)
   | Ok (result, report) -> (
       match result.Runtime.outputs.(0) with
@@ -125,8 +155,8 @@ let decide_disjointness_checked ?config (inst : Family.instance) ~predicate =
               answer = Predicate.decides_to predicate opt;
             })
 
-let decide_disjointness ?config (inst : Family.instance) ~predicate =
-  match decide_disjointness_checked ?config inst ~predicate with
+let decide_disjointness ?config ?engine (inst : Family.instance) ~predicate =
+  match decide_disjointness_checked ?config ?engine inst ~predicate with
   | Ok d -> d
   | Error (Incomplete _) ->
       invalid_arg

@@ -53,6 +53,19 @@ val simulate_checked :
 (** Like {!simulate}, but model violations come back as a structured
     failure (round/src/dst + trace prefix) instead of an exception. *)
 
+type engine =
+  | List_mode  (** the historical [(int * Msg.t) list] executor *)
+  | Flat  (** {!Congest.Runtime.run_flat} on the CSR twin of the graph *)
+  | Flat_par of Exec.Pool.t
+      (** {!Congest.Runtime.run_flat_par} sharded across the pool *)
+
+(** Which executor carries the gather protocol in
+    {!decide_disjointness}.  All engines produce the same decision and
+    the same report fields — rounds, cut traffic and outputs are
+    engine-independent (pinned by stdout parity in test/test_cli.ml) —
+    the flat ones just get there without per-message allocation.  Fault
+    plans require [List_mode] (the flat executors reject them). *)
+
 type decision = {
   report : report;
   opt : int;
@@ -71,6 +84,7 @@ val pp_error : Format.formatter -> error -> unit
 
 val decide_disjointness :
   ?config:Congest.Runtime.config ->
+  ?engine:engine ->
   Family.instance ->
   predicate:Predicate.t ->
   decision
@@ -82,6 +96,7 @@ val decide_disjointness :
 
 val decide_disjointness_checked :
   ?config:Congest.Runtime.config ->
+  ?engine:engine ->
   Family.instance ->
   predicate:Predicate.t ->
   (decision, error) Stdlib.result

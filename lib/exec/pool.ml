@@ -39,11 +39,19 @@ exception Chaos_kill
 
 type batch = {
   count : int;
-  exec : int -> unit;  (* compute + publish slot i; may raise Chaos_kill *)
-  poison : int -> int -> unit;  (* publish Worker_death for (slot, kills) *)
+  mutable exec : int -> unit;
+      (* compute + publish slot i; may raise Chaos_kill.  Mutable only
+         so the reusable [run_range] batch can be wired up after the
+         record exists; [map] never reassigns it. *)
+  mutable poison : int -> int -> unit;
+      (* publish Worker_death for (slot, kills) *)
   next : int Atomic.t;  (* next unclaimed primary index *)
   requeued : int Queue.t;  (* slots orphaned by dead workers; under [m] *)
   kills : int array;  (* worker deaths charged per slot; under [m] *)
+  retry : bool;
+      (* re-enqueue a killed slot (map semantics)?  [run_range] sets
+         false: its tasks mutate shared state in place, so a partially
+         executed chunk must never run twice — the first kill poisons. *)
 }
 
 type shared = {
@@ -68,6 +76,24 @@ type worker = {
   claim : int Atomic.t;  (* slot being executed, or -1 *)
 }
 
+(* Reusable state for {!run_range}: one chunk per pool slot, rebuilt
+   never — the same batch record, publication flags and error slots are
+   reset in place each call, so a settled barrier round allocates
+   nothing (the closures below are created once per pool, not per
+   call). *)
+type range_state = {
+  mutable rs_f : int -> int -> unit;  (* body for the current call *)
+  mutable rs_lo : int;
+  mutable rs_hi : int;
+  rs_pub : int Atomic.t array;  (* chunk publication: CAS-once 0 -> 1 *)
+  rs_err : (exn * Printexc.raw_backtrace) option array;
+  rs_filled : int Atomic.t;
+  rs_batch : batch;
+  mutable rs_job : batch option;  (* preallocated [Some rs_batch] *)
+  rs_hb : int array;  (* watchdog scratch, sized [jobs - 1] *)
+  rs_move : float array;
+}
+
 type t = {
   jobs : int;
   id : int;
@@ -75,6 +101,7 @@ type t = {
   mutable workers : worker array;
   mutable alive : bool;
   mutable restarts : int;  (* workers respawned over the pool's life *)
+  mutable range : range_state option;  (* lazily built on first run_range *)
   kill_limit : int;
   watchdog_s : float option;
   clock : unit -> float;
@@ -136,7 +163,7 @@ let claim sh b =
    publishing [Worker_death].  Call with [sh.m] held. *)
 let handle_kill (sh : shared) b i =
   b.kills.(i) <- b.kills.(i) + 1;
-  if b.kills.(i) >= sh.kill_limit then b.poison i b.kills.(i)
+  if (not b.retry) || b.kills.(i) >= sh.kill_limit then b.poison i b.kills.(i)
   else begin
     Queue.push i b.requeued;
     Obs.Metrics.inc m_requeued
@@ -334,6 +361,7 @@ let create ?watchdog_s ?(kill_limit = 2) ?(clock = Sys.time)
       workers = [||];
       alive = true;
       restarts = 0;
+      range = None;
       kill_limit;
       watchdog_s;
       clock;
@@ -412,6 +440,7 @@ let map t f xs =
             next = Atomic.make 0;
             requeued = Queue.create ();
             kills = Array.make n 0;
+            retry = true;
           }
         in
         Mutex.lock sh.m;
@@ -511,6 +540,217 @@ let map t f xs =
           slots
 
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* run_range: the barrier primitive behind the domain-sharded flat
+   executor (docs/PERF.md).  [lo, hi) is split into exactly [jobs]
+   contiguous chunks; every pool slot (workers + caller) executes one
+   chunk as [f clo chi] and the call returns only when all chunks have
+   published.  Unlike [map], a killed chunk is NEVER retried: range
+   bodies mutate shared state in place (staging arenas, per-shard
+   tallies, node state), so re-running a half-executed chunk would
+   corrupt it.  The first kill quarantines the chunk with a
+   width-independent [Worker_death] — the same exception at every
+   [jobs], including 1. *)
+
+let m_range_batches = Obs.Metrics.counter "pool_range_batches_total"
+
+let range_poison_message =
+  "range chunk killed its worker; quarantined without retry"
+
+let chunk_bounds ~jobs ~lo ~hi i =
+  if jobs < 1 then invalid_arg "Exec.Pool.chunk_bounds: jobs must be >= 1";
+  if i < 0 || i >= jobs then
+    invalid_arg "Exec.Pool.chunk_bounds: chunk index out of range";
+  let len = hi - lo in
+  let q = len / jobs and r = len mod jobs in
+  let clo = lo + (i * q) + min i r in
+  (clo, clo + q + if i < r then 1 else 0)
+
+let dummy_range_f _ _ = ()
+
+let dummy_exec (_ : int) = ()
+
+let dummy_poison (_ : int) (_ : int) = ()
+
+let publish_range rs i =
+  if Atomic.compare_and_set rs.rs_pub.(i) 0 1 then Atomic.incr rs.rs_filled
+
+(* Built once per pool; closes over [rs] only. *)
+let range_exec rs i =
+  let jobs = Array.length rs.rs_pub in
+  let len = rs.rs_hi - rs.rs_lo in
+  let q = len / jobs and r = len mod jobs in
+  let clo = rs.rs_lo + (i * q) + if i < r then i else r in
+  let chi = clo + q + if i < r then 1 else 0 in
+  (try rs.rs_f clo chi
+   with
+  | Chaos_kill as e -> raise e
+  | e -> rs.rs_err.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+  publish_range rs i
+
+let range_poison rs i _kills =
+  rs.rs_err.(i) <-
+    Some
+      ( Error.Error (Error.Worker_death range_poison_message),
+        Printexc.get_callstack 0 );
+  publish_range rs i
+
+let range_state t =
+  match t.range with
+  | Some rs -> rs
+  | None ->
+      let jobs = t.jobs in
+      let rs =
+        {
+          rs_f = dummy_range_f;
+          rs_lo = 0;
+          rs_hi = 0;
+          rs_pub = Array.init jobs (fun _ -> Atomic.make 1);
+          rs_err = Array.make jobs None;
+          rs_filled = Atomic.make 0;
+          rs_batch =
+            {
+              count = jobs;
+              exec = dummy_exec;
+              poison = dummy_poison;
+              next = Atomic.make 0;
+              requeued = Queue.create ();
+              kills = Array.make jobs 0;
+              retry = false;
+            };
+          rs_job = None;
+          rs_hb = Array.make (max 1 (jobs - 1)) 0;
+          rs_move = Array.make (max 1 (jobs - 1)) 0.0;
+        }
+      in
+      (* Wire the once-per-pool closures after the record exists (the
+         batch and the state reference each other). *)
+      rs.rs_batch.exec <- range_exec rs;
+      rs.rs_batch.poison <- range_poison rs;
+      rs.rs_job <- Some rs.rs_batch;
+      t.range <- Some rs;
+      rs
+
+(* Caller's share: claim chunks off the primary counter (no requeue
+   exists when [retry = false]) and absorb its own Chaos_kills as
+   immediate poison, mirroring a worker death. *)
+let rec range_drain_caller sh (b : batch) =
+  let i = Atomic.fetch_and_add b.next 1 in
+  if i < b.count then begin
+    (try b.exec i
+     with Chaos_kill ->
+       Mutex.lock sh.m;
+       handle_kill sh b i;
+       Mutex.unlock sh.m);
+    range_drain_caller sh b
+  end
+
+let range_condemn sh (b : batch) (w : worker) =
+  Atomic.set w.condemned true;
+  Atomic.set w.alive false;
+  Mutex.lock sh.m;
+  let c = Atomic.get w.claim in
+  if c >= 0 then handle_kill sh b c;
+  Mutex.unlock sh.m
+
+let range_watchdog_init t rs =
+  let now = t.clock () in
+  Array.iteri
+    (fun k (w : worker) ->
+      rs.rs_hb.(k) <- Atomic.get w.heartbeat;
+      rs.rs_move.(k) <- now)
+    t.workers
+
+let range_watchdog_check t sh rs window =
+  let now = t.clock () in
+  Array.iteri
+    (fun k (w : worker) ->
+      if Atomic.get w.alive && not (Atomic.get w.condemned) then begin
+        let hb = Atomic.get w.heartbeat in
+        if hb <> rs.rs_hb.(k) then begin
+          rs.rs_hb.(k) <- hb;
+          rs.rs_move.(k) <- now
+        end
+        else if Atomic.get w.claim >= 0 && now -. rs.rs_move.(k) > window then
+          range_condemn sh rs.rs_batch w
+      end)
+    t.workers
+
+let rec range_supervise t sh rs =
+  range_drain_caller sh rs.rs_batch;
+  if Atomic.get rs.rs_filled < rs.rs_batch.count then begin
+    (match t.watchdog_s with
+    | None ->
+        Mutex.lock sh.m;
+        if Atomic.get rs.rs_filled < rs.rs_batch.count then
+          Condition.wait sh.finished sh.m;
+        Mutex.unlock sh.m
+    | Some window ->
+        range_watchdog_check t sh rs window;
+        t.sleep (Float.max 1e-3 (window /. 4.)));
+    range_supervise t sh rs
+  end
+
+let rec range_reraise rs i =
+  if i < Array.length rs.rs_err then
+    match rs.rs_err.(i) with
+    | Some (e, bt) ->
+        rs.rs_err.(i) <- None;
+        Printexc.raise_with_backtrace e bt
+    | None -> range_reraise rs (i + 1)
+
+let run_range t ~lo ~hi f =
+  if not t.alive then invalid_arg "Exec.Pool.run_range: pool was shut down";
+  if hi < lo then invalid_arg "Exec.Pool.run_range: hi < lo";
+  Obs.Metrics.inc m_range_batches;
+  match t.shared with
+  | None -> (
+      (* jobs = 1: the chunk is the whole range, executed in place.  A
+         Chaos_kill quarantines exactly as the pooled path would —
+         identical exception at every width, and no retry. *)
+      try f lo hi
+      with Chaos_kill ->
+        raise (Error.Error (Error.Worker_death range_poison_message)))
+  | Some sh ->
+      if Array.exists (fun (w : worker) -> not (Atomic.get w.alive)) t.workers
+      then respawn_dead t sh;
+      let rs = range_state t in
+      let jobs = t.jobs in
+      Mutex.lock sh.m;
+      (* The nested/concurrent check must precede every write to [rs]:
+         the range state is preallocated and shared, so a nested call
+         from inside a chunk body would otherwise clobber the in-flight
+         batch's cursors before discovering it must raise. *)
+      if sh.job <> None then begin
+        Mutex.unlock sh.m;
+        invalid_arg "Exec.Pool.run_range: nested or concurrent batch on one pool"
+      end;
+      rs.rs_f <- f;
+      rs.rs_lo <- lo;
+      rs.rs_hi <- hi;
+      Atomic.set rs.rs_batch.next 0;
+      Array.fill rs.rs_batch.kills 0 jobs 0;
+      for i = 0 to jobs - 1 do
+        Atomic.set rs.rs_pub.(i) 0;
+        rs.rs_err.(i) <- None
+      done;
+      Atomic.set rs.rs_filled 0;
+      sh.job <- rs.rs_job;
+      sh.gen <- sh.gen + 1;
+      Condition.broadcast sh.ready;
+      Mutex.unlock sh.m;
+      (match t.watchdog_s with
+      | Some _ -> range_watchdog_init t rs
+      | None -> ());
+      range_supervise t sh rs;
+      Mutex.lock sh.m;
+      sh.job <- None;
+      Mutex.unlock sh.m;
+      rs.rs_f <- dummy_range_f;
+      (* Lowest-index failure first: what ascending sequential chunk
+         execution would have raised. *)
+      range_reraise rs 0
 
 let with_pool ?watchdog_s ?kill_limit ?clock ?sleep ~jobs f =
   let t = create ?watchdog_s ?kill_limit ?clock ?sleep ~jobs () in

@@ -100,6 +100,40 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map}; same contract. *)
 
+val run_range : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [run_range pool ~lo ~hi f] is the reusable barrier primitive behind
+    the domain-sharded flat executor (docs/PERF.md).  The interval
+    [\[lo, hi)] is split into exactly [jobs pool] contiguous chunks (see
+    {!chunk_bounds}); every pool slot — the persistent workers plus the
+    calling domain — executes [f clo chi] for one chunk, and the call
+    returns only once all chunks have published.  Empty chunks still
+    invoke [f clo clo], so per-shard state is reset at every width.
+
+    The barrier reuses one preallocated batch record per pool: a settled
+    call allocates no closures and no per-call arrays, which is what
+    keeps the parallel round loop at zero minor words per round.
+
+    Exception contract: a chunk body that raises an ordinary exception
+    records it; after the barrier the {e lowest-index} failure is
+    re-raised (ascending chunks = ascending node ranges, so this is the
+    exception ascending sequential execution would have raised first).
+    Unlike {!map}, a chunk whose worker dies ({!Chaos_kill}) is {e never
+    retried} — range bodies mutate shared state in place, so the first
+    kill quarantines the chunk and the call raises
+    [Error.Error (Worker_death _)] with a width-independent message:
+    the identical exception at every [jobs], including 1.
+
+    Raises [Invalid_argument] if [hi < lo], on a nested or concurrent
+    batch over the same pool, or after {!shutdown}. *)
+
+val chunk_bounds : jobs:int -> lo:int -> hi:int -> int -> int * int
+(** [chunk_bounds ~jobs ~lo ~hi i] is the half-open interval
+    [(clo, chi)] that chunk [i] of a [jobs]-way {!run_range} over
+    [\[lo, hi)] covers: sizes differ by at most one and concatenate to
+    the whole range in ascending order.  Pure — callers use it to map a
+    chunk's [clo] back to its shard index.  Raises [Invalid_argument]
+    unless [0 <= i < jobs]. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains (condemned-but-wedged domains are
     leaked — they cannot be joined without blocking).  Idempotent; a

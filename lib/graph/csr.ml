@@ -118,7 +118,7 @@ module Builder = struct
   let sort_range a lo hi =
     if hi - lo <= 32 then insertion_sort a lo hi else heap_sort a lo hi
 
-  let finish b : csr =
+  let finish ?shard b : csr =
     let size = b.b_size in
     let ne = Dynvec.length b.e_src in
     (* Degree count, both directions. *)
@@ -141,13 +141,24 @@ module Builder = struct
       adj.(fill.(v)) <- u;
       fill.(v) <- fill.(v) + 1
     done;
-    (* Sort each row, then compact duplicates in one sweep.  [w] chases
-       [r] through the whole array; xadj is rewritten as rows close. *)
+    (* Sort every row — the dominant cost of [finish] at gadget scale.
+       Rows are disjoint slices of [adj], so an injected [shard] may run
+       the row ranges on separate domains; sorted output is identical
+       either way, keeping the final CSR bytes shard-independent. *)
+    let sort_rows lo hi =
+      for v = lo to hi - 1 do
+        sort_range adj xadj.(v) xadj.(v + 1)
+      done
+    in
+    (match shard with
+    | None -> sort_rows 0 size
+    | Some run -> run ~lo:0 ~hi:size sort_rows);
+    (* Compact duplicates in one sweep.  [w] chases [r] through the
+       whole array; xadj is rewritten as rows close. *)
     let w = ref 0 in
     let xadj' = Array.make (size + 1) 0 in
     for v = 0 to size - 1 do
       let lo = xadj.(v) and hi = xadj.(v + 1) in
-      sort_range adj lo hi;
       xadj'.(v) <- !w;
       let prev = ref (-1) in
       for r = lo to hi - 1 do

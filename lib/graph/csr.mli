@@ -44,11 +44,20 @@ module Builder : sig
 
   val set_label : t -> int -> string -> unit
 
-  val finish : t -> graph
+  val finish :
+    ?shard:(lo:int -> hi:int -> (int -> int -> unit) -> unit) -> t -> graph
   (** Freeze into a CSR graph: count degrees, prefix-sum offsets, fill
       and sort every row, drop duplicate edges.  O(n + m log d).  The
       builder may keep accumulating edges afterwards; a later [finish]
-      produces a fresh snapshot. *)
+      produces a fresh snapshot.
+
+      [shard] parallelizes the row-sorting pass — the dominant cost at
+      gadget scale.  It receives the node range [0, n) and a body that
+      sorts the disjoint rows [lo, hi); pass
+      [fun ~lo ~hi f -> Exec.Pool.run_range pool ~lo ~hi f] to fan the
+      rows across a domain pool (this library deliberately has no
+      [exec] dependency — the executor is injected).  The resulting CSR
+      is bit-identical with or without sharding, at any width. *)
 end
 
 val of_graph : Graph.t -> t

@@ -332,3 +332,41 @@ let to_float = function
 let mem_str k j = Option.bind (member k j) to_str
 let mem_int k j = Option.bind (member k j) to_int
 let mem_bool k j = Option.bind (member k j) to_bool
+
+(* ------------------------------------------------------------------ *)
+(* Trajectory files *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let append_entry ~path ~header entry =
+  let existing =
+    if not (Sys.file_exists path) then []
+    else
+      match parse (read_file path) with
+      | Ok j -> ( match member "entries" j with Some (Arr l) -> l | _ -> [])
+      | Error _ ->
+          (* Never silently drop a trajectory: an unparseable file is
+             moved aside (visible in the working tree / CI artifact)
+             and the new history starts fresh next to it. *)
+          let aside = path ^ ".corrupt" in
+          (try Sys.remove aside with Sys_error _ -> ());
+          Sys.rename path aside;
+          []
+  in
+  let doc = Obj (header @ [ ("entries", Arr (existing @ [ entry ])) ]) in
+  (* Atomic replace: a crash mid-write can never truncate the history. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (to_string doc);
+     output_string oc "\n";
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -77,3 +77,17 @@ val mem_str : string -> t -> string option
 val mem_int : string -> t -> int option
 val mem_bool : string -> t -> bool option
 (** [mem_* k j] = [member k j] composed with the accessor. *)
+
+(** {1 Trajectory files}
+
+    Benchmark trajectories are JSON documents of the shape
+    [{...header fields..., "entries": [...]}] that grow by one entry per
+    run and must never lose history. *)
+
+val append_entry : path:string -> header:(string * t) list -> t -> unit
+(** Append [entry] to the ["entries"] array of the document at [path],
+    creating the file (with [header] fields before ["entries"]) when
+    missing.  The write is atomic (temp file + rename), so a crash can
+    never truncate prior entries; an existing file that fails to parse
+    is moved aside to [path ^ ".corrupt"] instead of being silently
+    overwritten.  Raises [Sys_error] on I/O failure. *)

@@ -177,6 +177,74 @@ let test_watchdog_condemns_wedge () =
       check "condemned worker replaced" true (Pool.restarts pool >= 1))
 
 (* ------------------------------------------------------------------ *)
+(* Sharded flat executor under a worker kill mid-round *)
+
+(* Wrap a flat program so node [at_node] kills its executing domain in
+   round [at_round] — from inside [Runtime.run_flat_par]'s stage phase,
+   which is where a real domain loss would land. *)
+let kill_wrap (fp : 'out Congest.Fastpath.t) ~at_round ~at_node =
+  {
+    fp with
+    Congest.Fastpath.fspawn =
+      (fun view ->
+        let node = fp.Congest.Fastpath.fspawn view in
+        if view.Congest.Program.id <> at_node then node
+        else
+          {
+            node with
+            Congest.Fastpath.fstep =
+              (fun ~round ~inbox em ->
+                if round = at_round then raise Pool.Chaos_kill;
+                node.Congest.Fastpath.fstep ~round ~inbox em);
+          });
+  }
+
+let test_flat_par_kill_mid_round () =
+  (* A worker killed mid-round must surface as the same structured
+     [Worker_death] — same message, same trace left behind — at every
+     width including jobs = 1, and the torn round must record no trace:
+     what remains is exactly a clean run truncated at the last complete
+     round. *)
+  let rounds = 12 and at_round = 5 in
+  let c = Wgraph.Csr.of_graph (Wgraph.Build.cycle 64) in
+  let config =
+    { Congest.Runtime.default_config with Congest.Runtime.max_rounds = rounds }
+  in
+  let outcome jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        let trace = Congest.Trace.create ~mode:Congest.Trace.Light () in
+        let fp =
+          kill_wrap (Congest.Fastpath.max_id ~rounds) ~at_round ~at_node:3
+        in
+        match Congest.Runtime.run_flat_par ~config ~trace ~pool fp c with
+        | _ -> Alcotest.fail "kill did not surface"
+        | exception Exec.Error.Error (Exec.Error.Worker_death msg) ->
+            (* [Trace.digest] mixes in the executed-round count, which a
+               torn run never sets — compare the pure send-stream state
+               instead. *)
+            ( msg,
+              Congest.Trace.total_messages trace,
+              Congest.Trace.send_digest_state trace ))
+  in
+  let ((_, msgs, digest) as ref1) = outcome 1 in
+  List.iter
+    (fun jobs ->
+      check (Printf.sprintf "jobs=%d outcome = jobs=1" jobs) true
+        (outcome jobs = ref1))
+    [ 2; 3; 8 ];
+  let clean = Congest.Trace.create ~mode:Congest.Trace.Light () in
+  let short =
+    { Congest.Runtime.default_config with Congest.Runtime.max_rounds = at_round }
+  in
+  ignore
+    (Congest.Runtime.run_flat ~config:short ~trace:clean
+       (Congest.Fastpath.max_id ~rounds) c);
+  check "torn round recorded no messages" true
+    (msgs = Congest.Trace.total_messages clean);
+  check "torn round recorded no digest" true
+    (digest = Congest.Trace.send_digest_state clean)
+
+(* ------------------------------------------------------------------ *)
 (* Fault injector replay *)
 
 let test_fsio_replay_deterministic () =
@@ -415,6 +483,8 @@ let () =
             test_poison_identical_at_every_width;
           Alcotest.test_case "watchdog condemns wedge" `Quick
             test_watchdog_condemns_wedge;
+          Alcotest.test_case "flat-par kill mid-round" `Quick
+            test_flat_par_kill_mid_round;
         ] );
       ( "fsio",
         [

@@ -121,6 +121,42 @@ let test_bench_metrics_parity () =
   List.iter Sys.remove [ plain; metered; jsonl ]
 
 (* ------------------------------------------------------------------ *)
+(* simulate --engine parity: the flat and sharded executors must print a
+   byte-identical report (same rounds, cut traffic, OPT and answer) —
+   the engine choice is a performance knob, never an observable one. *)
+
+let sim_base = "simulate --players 2 --ell 3"
+
+let test_engine_stdout_parity () =
+  let out_list = Filename.temp_file "sim_list" ".out" in
+  let out_flat = Filename.temp_file "sim_flat" ".out" in
+  let out_fpar = Filename.temp_file "sim_fpar" ".out" in
+  let cmd engine out =
+    run_capture
+      (Printf.sprintf "%s %s --engine=%s" (Filename.quote exe) sim_base engine)
+      out
+  in
+  check_int "list engine" 0 (cmd "list" out_list);
+  check_int "flat engine" 0 (cmd "flat" out_flat);
+  check_int "flat-par engine" 0
+    (run_capture
+       (Printf.sprintf "%s %s --engine=flat-par --jobs 3" (Filename.quote exe)
+          sim_base)
+       out_fpar);
+  Alcotest.(check string)
+    "flat stdout = list stdout" (slurp out_list) (slurp out_flat);
+  Alcotest.(check string)
+    "flat-par stdout = list stdout" (slurp out_list) (slurp out_fpar);
+  List.iter Sys.remove [ out_list; out_flat; out_fpar ]
+
+let test_engine_rejects_faults () =
+  check_int "flat + --drop is a usage error" 2
+    (run (sim_base ^ " --engine=flat --drop 0.1"));
+  check_int "flat-par + --corrupt is a usage error" 2
+    (run (sim_base ^ " --engine=flat-par --corrupt 0.1"));
+  check_int "list + --drop still runs" 0 (run (sim_base ^ " --drop 0.01"))
+
+(* ------------------------------------------------------------------ *)
 (* Verification.exit_code precedence *)
 
 module V = Maxis_core.Verification
@@ -156,6 +192,13 @@ let () =
           Alcotest.test_case "cli stdout parity" `Quick test_cli_metrics_parity;
           Alcotest.test_case "bench stdout parity" `Quick
             test_bench_metrics_parity;
+        ] );
+      ( "engine-parity",
+        [
+          Alcotest.test_case "simulate stdout parity" `Quick
+            test_engine_stdout_parity;
+          Alcotest.test_case "flat engines reject faults" `Quick
+            test_engine_rejects_faults;
         ] );
       ( "exit-code-unit",
         [ Alcotest.test_case "precedence" `Quick test_exit_code_unit ] );

@@ -212,6 +212,121 @@ let luby_parity =
       let g = random_graph seed nn in
       run_all_three Congest.Algo_luby.mis Congest.Fastpath.luby_mis g)
 
+(* ------------------------------------------------------------------ *)
+(* Domain-sharded executor parity: run_flat_par = run_flat at every
+   pool width, cold and warm, Full and Light traces. *)
+
+let par_pools =
+  lazy (List.map (fun jobs -> Exec.Pool.create ~jobs ()) [ 1; 2; 3; 8 ])
+
+let run_par_matches (type a) (fp : a Congest.Fastpath.t) g =
+  let c = Csr.of_graph g in
+  let seq = Congest.Runtime.run_flat fp c in
+  let seq_light_digest =
+    let tr = Congest.Trace.create ~mode:Congest.Trace.Light () in
+    let r = Congest.Runtime.run_flat ~trace:tr fp c in
+    Congest.Trace.digest r.Congest.Runtime.trace
+  in
+  let same (a : a Congest.Runtime.result) (b : a Congest.Runtime.result) =
+    a.Congest.Runtime.outputs = b.Congest.Runtime.outputs
+    && a.Congest.Runtime.rounds_executed = b.Congest.Runtime.rounds_executed
+    && a.Congest.Runtime.all_halted = b.Congest.Runtime.all_halted
+    && trace_summary a.Congest.Runtime.trace
+       = trace_summary b.Congest.Runtime.trace
+  in
+  List.for_all
+    (fun pool ->
+      let cold = Congest.Runtime.run_flat_par ~pool fp c in
+      (* Warm: same pool, buffers of the previous run already grown. *)
+      let warm = Congest.Runtime.run_flat_par ~pool fp c in
+      let light =
+        let tr = Congest.Trace.create ~mode:Congest.Trace.Light () in
+        let r = Congest.Runtime.run_flat_par ~trace:tr ~pool fp c in
+        Congest.Trace.digest r.Congest.Runtime.trace
+      in
+      same seq cold && same seq warm && light = seq_light_digest)
+    (Lazy.force par_pools)
+
+let flood_par_parity =
+  QCheck.Test.make ~name:"flood: run_flat_par = run_flat, jobs in {1,2,3,8}"
+    ~count:30
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      run_par_matches (Congest.Fastpath.max_id ~rounds:12) (random_graph seed nn))
+
+let bfs_par_parity =
+  QCheck.Test.make ~name:"bfs: run_flat_par = run_flat, jobs in {1,2,3,8}"
+    ~count:30
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) ->
+      run_par_matches
+        (Congest.Fastpath.bfs_distances ~root:0 ~rounds:12)
+        (random_graph seed nn))
+
+let luby_par_parity =
+  QCheck.Test.make
+    ~name:"luby: run_flat_par = run_flat (incl. PRNG draws), jobs in {1,2,3,8}"
+    ~count:30
+    QCheck.(pair small_int small_int)
+    (fun (seed, nn) -> run_par_matches Congest.Fastpath.luby_mis (random_graph seed nn))
+
+let test_par_rejects () =
+  let g = Build.path 4 in
+  let c = Csr.of_graph g in
+  let fp = Congest.Fastpath.max_id ~rounds:4 in
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      (try
+         ignore
+           (Congest.Runtime.run_flat_par
+              ~config:
+                {
+                  Congest.Runtime.default_config with
+                  Congest.Runtime.mode = Congest.Runtime.Broadcast;
+                }
+              ~pool fp c);
+         Alcotest.fail "broadcast accepted"
+       with Invalid_argument _ -> ());
+      let plan =
+        Congest.Faults.plan ~default:(Congest.Faults.link ~drop:0.5 ()) 1
+      in
+      (try
+         ignore
+           (Congest.Runtime.run_flat_par
+              ~config:
+                {
+                  Congest.Runtime.default_config with
+                  Congest.Runtime.faults = Some plan;
+                }
+              ~pool fp c);
+         Alcotest.fail "faults accepted"
+       with Invalid_argument _ -> ());
+      try
+        ignore
+          (Congest.Runtime.run_flat_par ~alloc_probe:[| 0.0 |] ~pool fp c);
+        Alcotest.fail "short alloc_probe accepted"
+      with Invalid_argument _ -> ())
+
+(* The chunk decomposition is a partition of [lo, hi) in ascending
+   order with sizes differing by at most one. *)
+let chunk_bounds_partition =
+  QCheck.Test.make ~name:"Pool.chunk_bounds partitions the range" ~count:200
+    QCheck.(triple small_int small_int small_int)
+    (fun (j, l, len) ->
+      let jobs = 1 + (j mod 9) in
+      let lo = l mod 50 in
+      let hi = lo + (len mod 70) in
+      let pieces =
+        List.init jobs (fun i -> Exec.Pool.chunk_bounds ~jobs ~lo ~hi i)
+      in
+      let sizes = List.map (fun (a, b) -> b - a) pieces in
+      let mn = List.fold_left min max_int sizes
+      and mx = List.fold_left max 0 sizes in
+      let rec contiguous at = function
+        | [] -> at = hi
+        | (a, b) :: rest -> a = at && b >= a && contiguous b rest
+      in
+      contiguous lo pieces && mx - mn <= 1)
+
 let test_flat_rejects () =
   let g = Build.path 4 in
   let c = Csr.of_graph g in
@@ -268,6 +383,42 @@ let test_linear_instance_csr_matches () =
   done;
   check "weights" true !ok
 
+let test_quadratic_csr_matches () =
+  let p = Maxis_core.Params.figure_params ~players:2 in
+  let g, part = Maxis_core.Quadratic_family.fixed p in
+  let c, part' = Maxis_core.Quadratic_family.fixed_csr p in
+  check "fixed_csr = of_graph fixed" true (Csr.equal c (Csr.of_graph g));
+  check "partitions equal" true (part = part');
+  (* Sharded finish produces the identical CSR at every pool width. *)
+  Exec.Pool.with_pool ~jobs:3 (fun pool ->
+      let shard ~lo ~hi f = Exec.Pool.run_range pool ~lo ~hi f in
+      let c3, _ = Maxis_core.Quadratic_family.fixed_csr ~shard p in
+      check "sharded finish equal" true (Csr.equal c c3))
+
+let test_quadratic_instance_csr_matches () =
+  let p = Maxis_core.Params.figure_params ~players:2 in
+  let x =
+    Commcx.Inputs.gen_promise (Prng.create 11)
+      ~k:(Maxis_core.Quadratic_family.string_length p)
+      ~t:2 ~intersecting:true
+  in
+  let inst = Maxis_core.Quadratic_family.instance p x in
+  let c, part = Maxis_core.Quadratic_family.instance_csr p x in
+  check "structure" true
+    (Csr.equal (Csr.reweight c (fun _ -> 1))
+       (Csr.reweight (Csr.of_graph inst.Maxis_core.Family.graph) (fun _ -> 1)));
+  check "partition" true (part = inst.Maxis_core.Family.partition);
+  let ok = ref true in
+  for v = 0 to Csr.n c - 1 do
+    if Csr.weight c v <> Graph.weight inst.Maxis_core.Family.graph v then
+      ok := false
+  done;
+  check "weights" true !ok;
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      let shard ~lo ~hi f = Exec.Pool.run_range pool ~lo ~hi f in
+      let c2, _ = Maxis_core.Quadratic_family.instance_csr ~shard p x in
+      check "sharded instance equal" true (Csr.equal c c2))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -289,12 +440,26 @@ let () =
           solver_parity;
         ];
       qsuite "executors" [ flood_parity; bfs_parity; luby_parity ];
+      qsuite "executors-par"
+        [
+          flood_par_parity;
+          bfs_par_parity;
+          luby_par_parity;
+          chunk_bounds_partition;
+        ];
       ( "executors-edge",
-        [ Alcotest.test_case "run_flat rejects" `Quick test_flat_rejects ] );
+        [
+          Alcotest.test_case "run_flat rejects" `Quick test_flat_rejects;
+          Alcotest.test_case "run_flat_par rejects" `Quick test_par_rejects;
+        ] );
       ( "gadgets",
         [
           Alcotest.test_case "fixed_csr" `Quick test_linear_csr_matches;
           Alcotest.test_case "instance_csr" `Quick
             test_linear_instance_csr_matches;
+          Alcotest.test_case "quadratic fixed_csr" `Quick
+            test_quadratic_csr_matches;
+          Alcotest.test_case "quadratic instance_csr" `Quick
+            test_quadratic_instance_csr_matches;
         ] );
     ]

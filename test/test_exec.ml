@@ -129,6 +129,91 @@ let test_pool_default_jobs_env () =
   set ""
 
 (* ------------------------------------------------------------------ *)
+(* Pool: run_range, the barrier primitive behind run_flat_par *)
+
+let test_run_range_matches_loop () =
+  (* Every index of [lo, hi) touched exactly once, at every width,
+     including a non-zero lo and n < jobs. *)
+  List.iter
+    (fun (lo, hi) ->
+      let n = hi - lo in
+      List.iter
+        (fun jobs ->
+          Pool.with_pool ~jobs (fun pool ->
+              let hits = Array.make (max n 1) 0 in
+              Pool.run_range pool ~lo ~hi (fun clo chi ->
+                  for i = clo to chi - 1 do
+                    hits.(i - lo) <- hits.(i - lo) + 1
+                  done);
+              check
+                (Printf.sprintf "lo=%d hi=%d jobs=%d" lo hi jobs)
+                true
+                (n = 0 || Array.for_all (fun c -> c = 1) hits)))
+        widths)
+    [ (0, 100); (7, 40); (0, 3); (5, 5) ]
+
+let test_run_range_chunks_cover_range () =
+  (* The chunks a body actually receives concatenate to [lo, hi) in
+     ascending order and agree with the pure chunk_bounds map. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let seen = Array.make jobs (-1, -1) in
+          let next = Atomic.make 0 in
+          Pool.run_range pool ~lo:3 ~hi:45 (fun clo chi ->
+              seen.(Atomic.fetch_and_add next 1) <- (clo, chi));
+          Array.sort compare seen;
+          let expected =
+            Array.init jobs (Pool.chunk_bounds ~jobs ~lo:3 ~hi:45)
+          in
+          Array.sort compare expected;
+          check (Printf.sprintf "jobs=%d" jobs) true (seen = expected)))
+      widths
+
+let test_run_range_rejects_reverse_range () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "hi < lo"
+        (Invalid_argument "Exec.Pool.run_range: hi < lo") (fun () ->
+          Pool.run_range pool ~lo:4 ~hi:3 (fun _ _ -> ())))
+
+let test_run_range_exception_lowest_chunk () =
+  (* Every chunk raises; the lowest chunk's exception must surface at
+     every width — the one ascending sequential execution hits first —
+     and the pool must stay usable afterwards. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "jobs=%d" jobs)
+            (Failure "chunk 0") (fun () ->
+              Pool.run_range pool ~lo:0 ~hi:32 (fun clo _ ->
+                  failwith (Printf.sprintf "chunk %d" clo)));
+          let sum = Atomic.make 0 in
+          Pool.run_range pool ~lo:0 ~hi:10 (fun clo chi ->
+              for i = clo to chi - 1 do
+                ignore (Atomic.fetch_and_add sum i)
+              done);
+          check_int
+            (Printf.sprintf "pool reusable after failure (jobs=%d)" jobs)
+            45 (Atomic.get sum)))
+    widths
+
+let test_run_range_nested_rejected () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let nested_ok = Atomic.make 0 in
+      Pool.run_range pool ~lo:0 ~hi:4 (fun _ _ ->
+          try Pool.run_range pool ~lo:0 ~hi:1 (fun _ _ -> ())
+          with Invalid_argument _ -> ignore (Atomic.fetch_and_add nested_ok 1));
+      check_int "every chunk's nested call raised" 2 (Atomic.get nested_ok))
+
+let test_run_range_after_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Alcotest.check_raises "run_range after shutdown"
+    (Invalid_argument "Exec.Pool.run_range: pool was shut down") (fun () ->
+      Pool.run_range pool ~lo:0 ~hi:4 (fun _ _ -> ()))
+
+(* ------------------------------------------------------------------ *)
 (* Cache *)
 
 let tmp_dir = "exec_cache_test"
@@ -835,6 +920,18 @@ let () =
             test_pool_create_rejects_bad_width;
           Alcotest.test_case "MAXIS_JOBS parsing" `Quick
             test_pool_default_jobs_env;
+          Alcotest.test_case "run_range matches a loop" `Quick
+            test_run_range_matches_loop;
+          Alcotest.test_case "run_range chunks cover the range" `Quick
+            test_run_range_chunks_cover_range;
+          Alcotest.test_case "run_range rejects hi < lo" `Quick
+            test_run_range_rejects_reverse_range;
+          Alcotest.test_case "run_range lowest-chunk exception" `Quick
+            test_run_range_exception_lowest_chunk;
+          Alcotest.test_case "run_range nested batch rejected" `Quick
+            test_run_range_nested_rejected;
+          Alcotest.test_case "run_range after shutdown" `Quick
+            test_run_range_after_shutdown;
         ] );
       ( "cache",
         [

@@ -54,6 +54,49 @@ let test_flat_alloc_per_round () =
        per-message allocation has crept back in"
       per_round ceiling_words_per_round
 
+(* The sharded executor must hold the same bar per domain: once arenas
+   settle, a shard's stage phase allocates nothing.  [alloc_probe]
+   accumulates each shard's own minor-word delta around its stage body
+   (measured on the domain that ran the chunk — minor heaps are
+   per-domain), so the long-minus-short difference isolates the settled
+   per-round cost of every shard at once.  The per-domain ceiling is
+   tighter than the whole-run one: a shard touches only its node range,
+   so there is even less bookkeeping to hide behind. *)
+let per_domain_ceiling = 64.0
+
+let par_minor_words_for pool probe rounds c =
+  Array.fill probe 0 (Array.length probe) 0.0;
+  let config =
+    { Congest.Runtime.default_config with Congest.Runtime.max_rounds = rounds }
+  in
+  let fp = Congest.Fastpath.max_id ~rounds in
+  let trace = Congest.Trace.create ~mode:Congest.Trace.Light () in
+  let result =
+    Congest.Runtime.run_flat_par ~config ~trace ~alloc_probe:probe ~pool fp c
+  in
+  Alcotest.(check int)
+    "ran all rounds" rounds result.Congest.Runtime.rounds_executed;
+  Array.copy probe
+
+let test_par_stage_alloc_per_round () =
+  let c = cycle_csr n in
+  let jobs = 4 in
+  Exec.Pool.with_pool ~jobs (fun pool ->
+      let probe = Array.make jobs 0.0 in
+      ignore (par_minor_words_for pool probe 8 c);
+      let short = par_minor_words_for pool probe short_rounds c in
+      let long = par_minor_words_for pool probe long_rounds c in
+      let dr = float_of_int (long_rounds - short_rounds) in
+      Array.iteri
+        (fun s _ ->
+          let per_round = (long.(s) -. short.(s)) /. dr in
+          if per_round > per_domain_ceiling then
+            Alcotest.failf
+              "shard %d of %d stages %.1f minor words/round (ceiling %.0f): \
+               the parallel stage phase is no longer allocation-free"
+              s jobs per_round per_domain_ceiling)
+        probe)
+
 (* The list-mode arena is not zero-allocation (Program.step speaks in
    lists), but it must stay linear in delivered messages — the historical
    per-round hashtable resets and sort allocations are gone.  ~28 words
@@ -84,6 +127,8 @@ let () =
         [
           Alcotest.test_case "flat rounds are allocation-free" `Quick
             test_flat_alloc_per_round;
+          Alcotest.test_case "sharded stage phase is allocation-free" `Quick
+            test_par_stage_alloc_per_round;
           Alcotest.test_case "list mode stays linear" `Quick
             test_list_alloc_per_message;
         ] );
