@@ -85,7 +85,12 @@ type range_state = {
   mutable rs_f : int -> int -> unit;  (* body for the current call *)
   mutable rs_lo : int;
   mutable rs_hi : int;
-  rs_pub : int Atomic.t array;  (* chunk publication: CAS-once 0 -> 1 *)
+  mutable rs_gen : int;  (* generation the current call is wired for *)
+  rs_pub : int Atomic.t array;
+      (* chunk publication, generation-tagged because the record is
+         reused: [g] = open for generation [g], [-g] = published for
+         generation [g], [0] = never opened (matches no generation, so
+         nothing can publish before the first call). *)
   rs_err : (exn * Printexc.raw_backtrace) option array;
   rs_filled : int Atomic.t;
   rs_batch : batch;
@@ -573,28 +578,49 @@ let dummy_exec (_ : int) = ()
 
 let dummy_poison (_ : int) (_ : int) = ()
 
-let publish_range rs i =
-  if Atomic.compare_and_set rs.rs_pub.(i) 0 1 then Atomic.incr rs.rs_filled
+(* Publication is generation-tagged: a slot opened for generation [gen]
+   holds [gen] and publishes by CAS [gen -> -gen].  A condemned-but-
+   wedged worker that resumes during a LATER call still carries the
+   generation it read at chunk entry, so its CAS fails against the new
+   slot value and the stale execution can neither mark a fresh chunk
+   complete nor clobber its error slot: [rs_err] is written only after
+   a winning CAS, and the [rs_filled] increment after that write is the
+   happens-before edge publishing it to the caller. *)
+let publish_range rs gen err i =
+  if Atomic.compare_and_set rs.rs_pub.(i) gen (-gen) then begin
+    rs.rs_err.(i) <- err;
+    Atomic.incr rs.rs_filled
+  end
 
-(* Built once per pool; closes over [rs] only. *)
+(* Built once per pool; closes over [rs] only.  Generation and bounds
+   are read at entry, so a worker that wedges inside [rs_f] and resumes
+   after the watchdog condemned it publishes with the generation it
+   started under — and is rejected if that call has since ended. *)
 let range_exec rs i =
+  let gen = rs.rs_gen in
   let jobs = Array.length rs.rs_pub in
   let len = rs.rs_hi - rs.rs_lo in
   let q = len / jobs and r = len mod jobs in
   let clo = rs.rs_lo + (i * q) + if i < r then i else r in
   let chi = clo + q + if i < r then 1 else 0 in
-  (try rs.rs_f clo chi
-   with
-  | Chaos_kill as e -> raise e
-  | e -> rs.rs_err.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-  publish_range rs i
+  let err =
+    try
+      rs.rs_f clo chi;
+      None
+    with
+    | Chaos_kill as e -> raise e
+    | e -> Some (e, Printexc.get_raw_backtrace ())
+  in
+  publish_range rs gen err i
 
+(* Reached via [handle_kill] while the batch being poisoned is the
+   current one, so [rs_gen] is the generation the kill belongs to. *)
 let range_poison rs i _kills =
-  rs.rs_err.(i) <-
-    Some
-      ( Error.Error (Error.Worker_death range_poison_message),
-        Printexc.get_callstack 0 );
-  publish_range rs i
+  publish_range rs rs.rs_gen
+    (Some
+       ( Error.Error (Error.Worker_death range_poison_message),
+         Printexc.get_callstack 0 ))
+    i
 
 let range_state t =
   match t.range with
@@ -606,7 +632,8 @@ let range_state t =
           rs_f = dummy_range_f;
           rs_lo = 0;
           rs_hi = 0;
-          rs_pub = Array.init jobs (fun _ -> Atomic.make 1);
+          rs_gen = 0;
+          rs_pub = Array.init jobs (fun _ -> Atomic.make 0);
           rs_err = Array.make jobs None;
           rs_filled = Atomic.make 0;
           rs_batch =
@@ -726,18 +753,33 @@ let run_range t ~lo ~hi f =
         Mutex.unlock sh.m;
         invalid_arg "Exec.Pool.run_range: nested or concurrent batch on one pool"
       end;
+      sh.gen <- sh.gen + 1;
       rs.rs_f <- f;
       rs.rs_lo <- lo;
       rs.rs_hi <- hi;
-      Atomic.set rs.rs_batch.next 0;
+      rs.rs_gen <- sh.gen;
       Array.fill rs.rs_batch.kills 0 jobs 0;
       for i = 0 to jobs - 1 do
-        Atomic.set rs.rs_pub.(i) 0;
+        Atomic.set rs.rs_pub.(i) rs.rs_gen;
         rs.rs_err.(i) <- None
       done;
       Atomic.set rs.rs_filled 0;
       sh.job <- rs.rs_job;
-      sh.gen <- sh.gen + 1;
+      (* The primary counter is reset LAST.  A worker from the previous
+         barrier sitting between its final publish and its next claim
+         does not hold [sh.m], so until this store it must keep seeing
+         the exhausted old counter (>= count — every chunk is claimed
+         through [next] exactly once, so completion implies exhaustion)
+         and exit cleanly.  Resetting [next] any earlier would let that
+         worker claim a chunk of THIS call while the publication slots
+         are still mid-reset: the chunk would execute but its publish
+         would be lost (CAS against a stale tag, or the filled
+         increment wiped by the reset below it), and with no retry the
+         barrier would hang forever.  This store is also the
+         publication edge: a claim that does observe the fresh counter
+         happens-after it and therefore sees the new
+         [rs_f]/[rs_lo]/[rs_hi]/[rs_gen]. *)
+      Atomic.set rs.rs_batch.next 0;
       Condition.broadcast sh.ready;
       Mutex.unlock sh.m;
       (match t.watchdog_s with

@@ -342,7 +342,39 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* The read-modify-rename below is a critical section: two unserialised
+   appenders would both read N entries and the losing rename would
+   silently drop one — the exact loss class this function exists to
+   prevent.  Concurrent appenders are real (parallel bench/CI legs
+   writing one trajectory), so appends are serialised at two levels: a
+   process-local mutex for domains of this process (fcntl locks do not
+   exclude within one process), and a blocking fcntl lock on a sidecar
+   [path ^ ".lock"] for other processes.  fcntl locks die with their
+   holder, so a crashed appender cannot wedge the file.  The sidecar is
+   left in place: unlinking it would reopen the classic unlock/unlink
+   race where two appenders lock different inodes of the same name. *)
+let append_m = Mutex.create ()
+
+let with_append_lock path f =
+  Mutex.lock append_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock append_m)
+    (fun () ->
+      let fd =
+        Unix.openfile (path ^ ".lock")
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_CLOEXEC ]
+          0o644
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (* Closing releases the fcntl lock. *)
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.lockf fd Unix.F_LOCK 0;
+          f ()))
+
 let append_entry ~path ~header entry =
+  with_append_lock path @@ fun () ->
   let existing =
     if not (Sys.file_exists path) then []
     else
@@ -358,8 +390,11 @@ let append_entry ~path ~header entry =
           []
   in
   let doc = Obj (header @ [ ("entries", Arr (existing @ [ entry ])) ]) in
-  (* Atomic replace: a crash mid-write can never truncate the history. *)
-  let tmp = path ^ ".tmp" in
+  (* Atomic replace: a crash mid-write can never truncate the history.
+     The temp name is pid-unique so an appender in another process that
+     somehow bypasses the lock can clobber at worst its own temp file,
+     never a half-written one of ours. *)
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
   let oc = open_out_bin tmp in
   (try
      output_string oc (to_string doc);

@@ -87,7 +87,12 @@ val mem_bool : string -> t -> bool option
 val append_entry : path:string -> header:(string * t) list -> t -> unit
 (** Append [entry] to the ["entries"] array of the document at [path],
     creating the file (with [header] fields before ["entries"]) when
-    missing.  The write is atomic (temp file + rename), so a crash can
-    never truncate prior entries; an existing file that fails to parse
-    is moved aside to [path ^ ".corrupt"] instead of being silently
-    overwritten.  Raises [Sys_error] on I/O failure. *)
+    missing.  The write is atomic (pid-unique temp file + rename), so a
+    crash can never truncate prior entries; an existing file that fails
+    to parse is moved aside to [path ^ ".corrupt"] instead of being
+    silently overwritten.  Concurrent appenders (other domains of this
+    process, other processes) are serialised through a blocking fcntl
+    lock on a sidecar [path ^ ".lock"] — which is left in place after
+    the append — so parallel bench/CI legs writing one trajectory
+    cannot drop each other's entries.  Raises [Sys_error] or
+    [Unix.Unix_error] on I/O failure. *)

@@ -198,6 +198,29 @@ let test_run_range_exception_lowest_chunk () =
             45 (Atomic.get sum)))
     widths
 
+let test_run_range_rapid_reuse () =
+  (* Regression for the barrier-reuse race: run_range reuses one batch
+     record, so a worker from barrier k sitting between its final
+     publish and its next claim overlaps barrier k+1's reset.  Before
+     the reset made the primary-counter zeroing its LAST store, that
+     worker could claim a chunk of the new barrier mid-reset, lose its
+     publication, and hang the barrier forever (no retry exists for
+     ranges).  Tiny bodies in a tight back-to-back loop maximise the
+     window; pre-fix this hung within a few thousand iterations at
+     jobs >= 2. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let sum = Atomic.make 0 in
+          for round = 1 to 3_000 do
+            Atomic.set sum 0;
+            Pool.run_range pool ~lo:0 ~hi:jobs (fun clo chi ->
+                ignore (Atomic.fetch_and_add sum (chi - clo)));
+            if Atomic.get sum <> jobs then
+              Alcotest.failf "jobs=%d round=%d: lost a chunk" jobs round
+          done))
+    [ 2; 4; 8 ]
+
 let test_run_range_nested_rejected () =
   Pool.with_pool ~jobs:2 (fun pool ->
       let nested_ok = Atomic.make 0 in
@@ -928,6 +951,8 @@ let () =
             test_run_range_rejects_reverse_range;
           Alcotest.test_case "run_range lowest-chunk exception" `Quick
             test_run_range_exception_lowest_chunk;
+          Alcotest.test_case "run_range rapid back-to-back reuse" `Quick
+            test_run_range_rapid_reuse;
           Alcotest.test_case "run_range nested batch rejected" `Quick
             test_run_range_nested_rejected;
           Alcotest.test_case "run_range after shutdown" `Quick

@@ -525,7 +525,12 @@ let with_tmp_json f =
     ~finally:(fun () ->
       List.iter
         (fun p -> if Sys.file_exists p then Sys.remove p)
-        [ path; path ^ ".corrupt"; path ^ ".tmp" ])
+        [
+          path;
+          path ^ ".corrupt";
+          path ^ ".lock";
+          Printf.sprintf "%s.%d.tmp" path (Unix.getpid ());
+        ])
     (fun () -> f path)
 
 let header = [ ("bench", J.Str "t"); ("schema", J.Int 1) ]
@@ -541,7 +546,8 @@ let test_jsonx_append_creates () =
       let j = parse_ok (slurp path) in
       check "header kept" true (J.mem_str "bench" j = Some "t");
       check "one entry" true (entries path = [ J.Int 1 ]);
-      check "no tmp left behind" false (Sys.file_exists (path ^ ".tmp")))
+      check "no tmp left behind" false
+        (Sys.file_exists (Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()))))
 
 let test_jsonx_append_preserves_history () =
   with_tmp_json (fun path ->
@@ -550,6 +556,30 @@ let test_jsonx_append_preserves_history () =
       J.append_entry ~path ~header (J.Obj [ ("n", J.Int 3) ]);
       check "appends, never overwrites" true
         (entries path = [ J.Int 1; J.Str "two"; J.Obj [ ("n", J.Int 3) ] ]))
+
+(* Concurrent appenders (parallel bench/CI legs writing one trajectory)
+   must not lose entries: each append is a read-modify-rename, so
+   without serialisation two racers both read N entries and the losing
+   rename drops one.  Four domains hammering one file must land every
+   entry exactly once. *)
+let test_jsonx_append_concurrent_loses_nothing () =
+  with_tmp_json (fun path ->
+      let domains = 4 and per = 8 in
+      let spawn d =
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              J.append_entry ~path ~header (J.Int ((d * per) + i))
+            done)
+      in
+      List.iter Domain.join (List.map spawn [ 0; 1; 2; 3 ]);
+      let got =
+        List.filter_map (function J.Int n -> Some n | _ -> None)
+          (entries path)
+      in
+      check_int "every concurrent append landed" (domains * per)
+        (List.length got);
+      check "entries are exactly 0..31, no duplicates" true
+        (List.sort compare got = List.init (domains * per) Fun.id))
 
 let test_jsonx_append_moves_corrupt_aside () =
   with_tmp_json (fun path ->
@@ -646,6 +676,8 @@ let () =
           Alcotest.test_case "float fidelity" `Quick test_jsonx_float_fidelity;
           Alcotest.test_case "append_entry creates" `Quick
             test_jsonx_append_creates;
+          Alcotest.test_case "append_entry concurrent appenders" `Quick
+            test_jsonx_append_concurrent_loses_nothing;
           Alcotest.test_case "append_entry preserves history" `Quick
             test_jsonx_append_preserves_history;
           Alcotest.test_case "append_entry moves corruption aside" `Quick
